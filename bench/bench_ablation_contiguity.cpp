@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ablation: how the OS allocation substrate creates (or destroys)
+ * index-bit predictability — the mechanism behind Sec. VI of the
+ * paper. Sweeps the buddy allocator's maximum order and the
+ * paging policy (THP, coloring, random placement) for one
+ * contiguity-sensitive application and reports the unchanged-bit
+ * fraction and combined-predictor fast fraction.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/bitops.hh"
+#include "common/table.hh"
+#include "predictor/combined.hh"
+
+namespace
+{
+
+using namespace sipt;
+
+struct Sample
+{
+    double unchanged = 0.0;
+    double fast = 0.0;
+};
+
+Sample
+run(const std::string &app, unsigned max_order,
+    os::PagingPolicy pol, std::uint64_t refs)
+{
+    os::BuddyAllocator buddy((4ull << 30) / pageSize, max_order);
+    Rng rng(7);
+    os::SystemAger ager(buddy);
+    ager.age(20'000, 0.22, rng);
+    os::AddressSpace as(buddy, pol, 8);
+    workload::SyntheticWorkload wl(workload::appProfile(app), as,
+                                   9);
+    predictor::CombinedIndexPredictor combined(2);
+
+    std::uint64_t unchanged = 0, fast = 0;
+    MemRef ref;
+    for (std::uint64_t i = 0; i < refs; ++i) {
+        wl.next(ref);
+        const Vpn vpn = ref.vaddr >> pageShift;
+        const auto xlat = as.pageTable().translate(ref.vaddr);
+        const Pfn pfn = xlat->paddr >> pageShift;
+        if ((vpn & mask(2)) == (pfn & mask(2)))
+            ++unchanged;
+        const auto pred = combined.predict(ref.pc, vpn);
+        if (pred.bits == (pfn & mask(2)))
+            ++fast;
+        combined.update(ref.pc, vpn, pfn);
+    }
+    return {static_cast<double>(unchanged) /
+                static_cast<double>(refs),
+            static_cast<double>(fast) /
+                static_cast<double>(refs)};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace sipt;
+
+    bench::figureHeader(
+        "Ablation: allocation substrate vs predictability "
+        "(app = gcc, 2 speculative bits)");
+
+    const std::uint64_t refs = bench::measureRefs() / 2;
+    TextTable t({"substrate", "unchanged-bits", "combined fast"});
+
+    auto row = [&](const char *name, unsigned max_order,
+                   os::PagingPolicy pol) {
+        const Sample s = run("gcc", max_order, pol, refs);
+        t.beginRow();
+        t.add(name);
+        t.add(s.unchanged, 3);
+        t.add(s.fast, 3);
+    };
+
+    os::PagingPolicy thp;
+    thp.thpChance = 0.9;
+    os::PagingPolicy no_thp;
+    no_thp.thpEnabled = false;
+    os::PagingPolicy colored = no_thp;
+    colored.coloringBits = 3;
+    os::PagingPolicy random = no_thp;
+    random.randomPlacement = true;
+
+    row("buddy order 10 + THP 90%", 10, thp);
+    row("buddy order 10, THP off", 10, no_thp);
+    row("buddy order 4, THP off", 4, no_thp);
+    row("buddy order 0 (no grouping)", 0, no_thp);
+    row("page coloring (3 bits)", 10, colored);
+    row("random placement", 10, random);
+    t.print(std::cout);
+
+    std::cout << "\nShape: contiguity (high buddy order, THP) "
+                 "and coloring raise raw unchanged-bit rates; "
+                 "the IDB keeps fast rates high until placement "
+                 "is truly random.\n";
+    return 0;
+}

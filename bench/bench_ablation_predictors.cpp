@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Ablations the paper reports in passing (Secs. V-VI):
+ *  - counter-based bypass predictors are ~85% accurate and
+ *    inconsistent, vs >90% for the perceptron;
+ *  - the perceptron is insensitive to table size / history
+ *    length at this problem size;
+ *  - the IDB is what recovers the bypass-hostile applications
+ *    (bypass-only vs combined fast fraction).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/bitops.hh"
+#include "common/table.hh"
+#include "predictor/combined.hh"
+#include "predictor/counter.hh"
+#include "predictor/perceptron.hh"
+
+namespace
+{
+
+using namespace sipt;
+
+constexpr unsigned specBits = 2;
+
+struct Acc
+{
+    std::uint64_t correct = 0;
+    std::uint64_t total = 0;
+
+    double
+    rate() const
+    {
+        return total ? static_cast<double>(correct) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace sipt;
+
+    bench::figureHeader(
+        "Ablation: predictor designs (2 speculative bits)");
+
+    const std::uint64_t refs = bench::measureRefs() / 2;
+    TextTable t({"app", "counter2b", "perceptron",
+                 "perc 256e/24h", "bypass-only fast",
+                 "combined fast"});
+    std::vector<double> c_v, p_v, pl_v, bf_v, cf_v;
+
+    for (const auto &app : bench::sensitivityApps()) {
+        bench::TraceLab lab(app);
+        predictor::CounterBypassPredictor counter;
+        predictor::PerceptronBypassPredictor small_perc;
+        predictor::PerceptronBypassPredictor large_perc(
+            predictor::PerceptronParams{256, 24, 6, -1});
+        predictor::CombinedIndexPredictor combined(specBits);
+
+        Acc a_counter, a_small, a_large;
+        std::uint64_t bypass_fast = 0, combined_fast = 0;
+
+        MemRef ref;
+        for (std::uint64_t i = 0; i < refs; ++i) {
+            lab.workload.next(ref);
+            const Vpn vpn = ref.vaddr >> pageShift;
+            const Pfn pfn = lab.pfnOf(ref.vaddr);
+            const bool unchanged =
+                (vpn & mask(specBits)) == (pfn & mask(specBits));
+
+            const bool c = counter.predictSpeculate(ref.pc);
+            const bool s = small_perc.predictSpeculate(ref.pc);
+            const bool l = large_perc.predictSpeculate(ref.pc);
+            a_counter.correct += (c == unchanged);
+            a_small.correct += (s == unchanged);
+            a_large.correct += (l == unchanged);
+            ++a_counter.total;
+            ++a_small.total;
+            ++a_large.total;
+            // Bypass-only is fast only on correct speculation.
+            bypass_fast += (s && unchanged);
+
+            const auto pred = combined.predict(ref.pc, vpn);
+            combined_fast += (pred.bits ==
+                              (pfn & mask(specBits)));
+
+            counter.train(ref.pc, unchanged);
+            small_perc.train(ref.pc, unchanged);
+            large_perc.train(ref.pc, unchanged);
+            combined.update(ref.pc, vpn, pfn);
+        }
+        const auto frac = [&](std::uint64_t n) {
+            return static_cast<double>(n) /
+                   static_cast<double>(refs);
+        };
+        t.beginRow();
+        t.add(app);
+        t.add(a_counter.rate(), 3);
+        t.add(a_small.rate(), 3);
+        t.add(a_large.rate(), 3);
+        t.add(frac(bypass_fast), 3);
+        t.add(frac(combined_fast), 3);
+        c_v.push_back(a_counter.rate());
+        p_v.push_back(a_small.rate());
+        pl_v.push_back(a_large.rate());
+        bf_v.push_back(frac(bypass_fast));
+        cf_v.push_back(frac(combined_fast));
+    }
+    t.beginRow();
+    t.add("Mean");
+    t.add(arithmeticMean(c_v), 3);
+    t.add(arithmeticMean(p_v), 3);
+    t.add(arithmeticMean(pl_v), 3);
+    t.add(arithmeticMean(bf_v), 3);
+    t.add(arithmeticMean(cf_v), 3);
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape: counters ~85% and inconsistent; "
+                 "perceptron >90% and insensitive to size; the "
+                 "IDB converts bypassed accesses to fast ones.\n";
+    return 0;
+}

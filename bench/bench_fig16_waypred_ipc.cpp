@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 16: way prediction composed with SIPT. Groups per app:
+ * baseline L1 + way prediction, SIPT+IDB (32 KiB 2-way), and
+ * SIPT+IDB + way prediction — IPC normalised to the baseline L1
+ * without way prediction, plus way-prediction accuracy.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace sipt;
+
+    bench::figureHeader(
+        "Fig. 16: way prediction on baseline vs on SIPT "
+        "(normalised IPC and WP accuracy)");
+
+    TextTable t({"app", "base+WP", "SIPT", "SIPT+WP",
+                 "WPacc base", "WPacc SIPT"});
+    std::vector<double> wp_v, sipt_v, siptwp_v, acc_b, acc_s;
+
+    for (const auto &app : bench::apps()) {
+        sim::SystemConfig base;
+        base.outOfOrder = true;
+        base.measureRefs = bench::measureRefs();
+        const auto r_base = sim::runSingleCore(app, base);
+
+        sim::SystemConfig wp = base;
+        wp.wayPrediction = true;
+        const auto r_wp = sim::runSingleCore(app, wp);
+
+        sim::SystemConfig scfg = base;
+        scfg.l1Config = sim::L1Config::Sipt32K2;
+        scfg.policy = IndexingPolicy::SiptCombined;
+        const auto r_s = sim::runSingleCore(app, scfg);
+
+        sim::SystemConfig swp = scfg;
+        swp.wayPrediction = true;
+        const auto r_swp = sim::runSingleCore(app, swp);
+
+        t.beginRow();
+        t.add(app);
+        t.add(r_wp.ipc / r_base.ipc, 3);
+        t.add(r_s.ipc / r_base.ipc, 3);
+        t.add(r_swp.ipc / r_base.ipc, 3);
+        t.add(100.0 * r_wp.wayPredAccuracy, 1);
+        t.add(100.0 * r_swp.wayPredAccuracy, 1);
+        wp_v.push_back(r_wp.ipc / r_base.ipc);
+        sipt_v.push_back(r_s.ipc / r_base.ipc);
+        siptwp_v.push_back(r_swp.ipc / r_base.ipc);
+        acc_b.push_back(r_wp.wayPredAccuracy);
+        acc_s.push_back(r_swp.wayPredAccuracy);
+    }
+    t.beginRow();
+    t.add("Mean");
+    t.add(harmonicMean(wp_v), 3);
+    t.add(harmonicMean(sipt_v), 3);
+    t.add(harmonicMean(siptwp_v), 3);
+    t.add(100.0 * arithmeticMean(acc_b), 1);
+    t.add(100.0 * arithmeticMean(acc_s), 1);
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape: WP on the 8-way baseline is "
+                 "89% accurate and costs ~2% IPC; on 2-way SIPT "
+                 "accuracy rises to 97.3% and costs only ~0.3% "
+                 "vs SIPT alone.\n";
+    return 0;
+}

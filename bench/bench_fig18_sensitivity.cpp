@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 18: sensitivity of SIPT+IDB to the physical-memory
+ * operating condition — normal (aged machine), artificially
+ * fragmented memory (Fu(9) > 0.95), transparent huge pages off,
+ * and zero >4KiB contiguity — on both the OOO and in-order
+ * cores, for all four SIPT configurations. Reports average IPC
+ * and cache energy normalised to the baseline L1 under the same
+ * condition, plus prediction accuracy (fast-access fraction).
+ *
+ * By default a documented subset of applications spanning the
+ * three behaviour classes is used (SIPT_ALL_APPS=1 for all 26).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace sipt;
+    using sim::MemCondition;
+
+    bench::figureHeader(
+        "Fig. 18: sensitivity to memory condition "
+        "(averages over app subset)");
+
+    const auto app_list = bench::sensitivityApps();
+    const std::vector<MemCondition> conds = {
+        MemCondition::Normal, MemCondition::Fragmented,
+        MemCondition::ThpOff, MemCondition::NoContiguity};
+    const auto &cfgs = sim::siptConfigs();
+
+    TextTable t({"core", "condition", "config", "IPC",
+                 "energy", "pred.acc"});
+
+    for (bool ooo : {true, false}) {
+        for (const auto cond : conds) {
+            // Baselines per app under this condition.
+            std::vector<double> base_ipc, base_energy;
+            for (const auto &app : app_list) {
+                sim::SystemConfig base;
+                base.outOfOrder = ooo;
+                base.condition = cond;
+                base.measureRefs = bench::measureRefs() / 2;
+                const auto r = sim::runSingleCore(app, base);
+                base_ipc.push_back(r.ipc);
+                base_energy.push_back(r.energy.total());
+            }
+            for (const auto cfg_id : cfgs) {
+                std::vector<double> speedups, energies, accs;
+                for (std::size_t a = 0; a < app_list.size();
+                     ++a) {
+                    sim::SystemConfig cfg;
+                    cfg.outOfOrder = ooo;
+                    cfg.condition = cond;
+                    cfg.l1Config = cfg_id;
+                    cfg.policy = IndexingPolicy::SiptCombined;
+                    cfg.measureRefs = bench::measureRefs() / 2;
+                    const auto r =
+                        sim::runSingleCore(app_list[a], cfg);
+                    speedups.push_back(r.ipc / base_ipc[a]);
+                    energies.push_back(r.energy.total() /
+                                       base_energy[a]);
+                    accs.push_back(r.fastFraction);
+                }
+                t.beginRow();
+                t.add(ooo ? "OOO" : "in-order");
+                t.add(sim::conditionName(cond));
+                t.add(sim::l1ConfigName(cfg_id));
+                t.add(harmonicMean(speedups), 3);
+                t.add(arithmeticMean(energies), 3);
+                t.add(arithmeticMean(accs), 3);
+            }
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape (32KiB 2-way, OOO): prediction "
+                 "accuracy 86.7% -> 84% fragmented -> 83.1% "
+                 "THP-off -> 73% no-contiguity; IPC gain 5.9% "
+                 "-> 5.3% -> 4.8% -> 3.8%. Degradation is real "
+                 "but mild.\n";
+    return 0;
+}

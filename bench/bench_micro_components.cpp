@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core components: the
+ * predictors (whose per-access cost must be negligible for the
+ * paper's overhead claims to hold), the cache array, the TLB,
+ * the buddy allocator, and the DRAM timing model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hh"
+#include "common/rng.hh"
+#include "dram/dram.hh"
+#include "os/buddy_allocator.hh"
+#include "predictor/combined.hh"
+#include "predictor/perceptron.hh"
+#include "vm/tlb.hh"
+
+namespace
+{
+
+using namespace sipt;
+
+void
+BM_PerceptronPredictTrain(benchmark::State &state)
+{
+    predictor::PerceptronBypassPredictor perceptron;
+    Rng rng(1);
+    std::uint64_t pc = 0x400000;
+    for (auto _ : state) {
+        const bool spec = perceptron.predictSpeculate(pc);
+        benchmark::DoNotOptimize(spec);
+        perceptron.train(pc, rng.chance(0.9));
+        pc += 4;
+    }
+}
+BENCHMARK(BM_PerceptronPredictTrain);
+
+void
+BM_CombinedPredict(benchmark::State &state)
+{
+    predictor::CombinedIndexPredictor combined(
+        static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(2);
+    std::uint64_t pc = 0x400000;
+    Vpn vpn = 1000;
+    for (auto _ : state) {
+        const auto pred = combined.predict(pc, vpn);
+        benchmark::DoNotOptimize(pred);
+        combined.update(pc, vpn, vpn + 16);
+        pc += 4;
+        vpn += rng.below(4);
+    }
+}
+BENCHMARK(BM_CombinedPredict)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_CacheArrayLookupInsert(benchmark::State &state)
+{
+    cache::CacheGeometry geom;
+    geom.sizeBytes = 32 * 1024;
+    geom.assoc = static_cast<std::uint32_t>(state.range(0));
+    cache::CacheArray array(geom);
+    Rng rng(3);
+    for (auto _ : state) {
+        const Addr paddr = rng.below(1u << 20) << lineShift;
+        const auto set = array.setOf(paddr);
+        if (array.lookup(set, paddr) < 0)
+            array.insert(set, paddr, false);
+    }
+}
+BENCHMARK(BM_CacheArrayLookupInsert)->Arg(2)->Arg(8);
+
+void
+BM_TlbLookupInsert(benchmark::State &state)
+{
+    vm::Tlb tlb(vm::TlbParams{64, 4});
+    Rng rng(4);
+    for (auto _ : state) {
+        const Vpn vpn = rng.below(4096);
+        if (!tlb.lookup(vpn))
+            tlb.insert(vpn);
+    }
+}
+BENCHMARK(BM_TlbLookupInsert);
+
+void
+BM_BuddyAllocFree(benchmark::State &state)
+{
+    os::BuddyAllocator buddy(1u << 20);
+    std::vector<Pfn> live;
+    Rng rng(5);
+    for (auto _ : state) {
+        if (live.size() < 1024 || rng.chance(0.5)) {
+            if (auto pfn = buddy.allocate(0))
+                live.push_back(*pfn);
+        } else {
+            const std::size_t idx = rng.below(live.size());
+            buddy.free(live[idx], 0);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+    for (Pfn pfn : live)
+        buddy.free(pfn, 0);
+}
+BENCHMARK(BM_BuddyAllocFree);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    dram::Dram dram;
+    Rng rng(6);
+    Cycles now = 0;
+    for (auto _ : state) {
+        const Addr paddr = rng.below(1u << 26) << lineShift;
+        benchmark::DoNotOptimize(dram.access(paddr, now));
+        now += 4;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

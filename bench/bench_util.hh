@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benchmark binaries.
+ *
+ * Each bench_figNN binary reproduces one table or figure of the
+ * SIPT paper (see DESIGN.md's experiment index): it runs the
+ * relevant sweep and prints the same rows/series the paper reports,
+ * normalised the same way (IPC and energy relative to the baseline
+ * L1; harmonic-mean speedups; arithmetic-mean energies).
+ */
+
+#ifndef SIPT_BENCH_BENCH_UTIL_HH
+#define SIPT_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "os/fragmenter.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+#include "workload/synthetic.hh"
+
+namespace sipt::bench
+{
+
+/** Apps on the x-axis of the per-application figures. */
+inline const std::vector<std::string> &
+apps()
+{
+    return workload::figureApps();
+}
+
+/** Number of measured references per run (SIPT_REFS overrides). */
+inline std::uint64_t
+measureRefs()
+{
+    return sim::defaultMeasureRefs();
+}
+
+/**
+ * Apps used for the (very wide) sensitivity sweeps; a documented
+ * subset spanning the three behaviour classes so the bench
+ * finishes in minutes. SIPT_ALL_APPS=1 runs every app.
+ */
+inline std::vector<std::string>
+sensitivityApps()
+{
+    if (std::getenv("SIPT_ALL_APPS") != nullptr)
+        return apps();
+    return {"mcf",      "h264ref",  "gcc",     "libquantum",
+            "calculix", "GemsFDTD", "gromacs", "graph500",
+            "ycsb",     "leela_17"};
+}
+
+/**
+ * Trace-level speculation statistics for one application: runs the
+ * allocation phase and a reference stream, comparing VA and PA
+ * index bits without any cache model (Figs. 5, 9, 12 are purely
+ * properties of the address stream and predictors).
+ */
+struct TraceLab
+{
+    /** Physical memory conditioned before any app allocation. */
+    struct ConditionedMemory
+    {
+        os::BuddyAllocator buddy;
+        Rng rng;
+        os::SystemAger ager;
+        os::MemoryFragmenter fragmenter;
+
+        ConditionedMemory(sim::MemCondition condition,
+                          std::uint64_t seed)
+            : buddy((4ull << 30) / pageSize), rng(seed),
+              ager(buddy), fragmenter(buddy)
+        {
+            ager.age(20'000, 0.22, rng);
+            if (condition == sim::MemCondition::Fragmented)
+                fragmenter.fragmentTo(0.95, 9, rng, 0.30);
+        }
+    };
+
+    ConditionedMemory mem;
+    os::AddressSpace as;
+    workload::SyntheticWorkload workload;
+
+    /**
+     * @param app profile name
+     * @param condition physical-memory condition
+     * @param seed experiment seed
+     */
+    TraceLab(const std::string &app,
+             sim::MemCondition condition = sim::MemCondition::Normal,
+             std::uint64_t seed = 42)
+        : mem(condition, seed),
+          as(mem.buddy, pagingPolicy(app, condition), seed + 1),
+          workload(workload::appProfile(app), as, seed + 2)
+    {
+    }
+
+    /** Translate a VA via the (already populated) page table. */
+    Pfn
+    pfnOf(Addr vaddr) const
+    {
+        const auto xlat = as.pageTable().translate(vaddr);
+        return xlat ? (xlat->paddr >> pageShift) : invalidPfn;
+    }
+
+    /** True when vaddr lies in a huge-page mapping. */
+    bool
+    isHuge(Addr vaddr) const
+    {
+        return as.pageTable().isHugeMapped(vaddr);
+    }
+
+  private:
+    static os::PagingPolicy
+    pagingPolicy(const std::string &app,
+                 sim::MemCondition condition)
+    {
+        os::PagingPolicy pol;
+        const auto &profile = workload::appProfile(app);
+        switch (condition) {
+          case sim::MemCondition::Normal:
+          case sim::MemCondition::Fragmented:
+            pol.thpEnabled = true;
+            pol.thpChance = profile.thpAffinity;
+            break;
+          case sim::MemCondition::ThpOff:
+            pol.thpEnabled = false;
+            break;
+          case sim::MemCondition::NoContiguity:
+            pol.thpEnabled = false;
+            pol.randomPlacement = true;
+            break;
+        }
+        return pol;
+    }
+};
+
+/** Print a standard figure header. */
+inline void
+figureHeader(const std::string &what)
+{
+    std::cout << "\n=== " << what << " ===\n"
+              << "(refs/run = " << measureRefs() << ")\n\n";
+}
+
+} // namespace sipt::bench
+
+#endif // SIPT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * A command-line experiment driver over the full public API:
+ * choose an application, L1 configuration, indexing policy,
+ * memory condition, core type, and options, and get the metrics
+ * (optionally as CSV for scripting).
+ *
+ * Usage:
+ *   sipt_explorer [--app NAME] [--l1 base|16k4|32k2|32k4|64k4|128k4]
+ *                 [--policy vipt|ideal|naive|bypass|combined]
+ *                 [--inorder] [--waypred] [--radix-walker]
+ *                 [--condition normal|frag|thpoff|nocontig]
+ *                 [--refs N] [--seed N] [--csv]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+#include "workload/profile.hh"
+
+namespace
+{
+
+using namespace sipt;
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: sipt_explorer [--app NAME] [--l1 CFG] "
+           "[--policy P] [--inorder]\n"
+           "                     [--waypred] [--radix-walker] "
+           "[--condition C]\n"
+           "                     [--refs N] [--seed N] [--csv] "
+           "[--list-apps]\n";
+    std::exit(2);
+}
+
+sim::L1Config
+parseL1(const std::string &s)
+{
+    if (s == "base")
+        return sim::L1Config::Baseline32K8;
+    if (s == "16k4")
+        return sim::L1Config::Small16K4;
+    if (s == "32k2")
+        return sim::L1Config::Sipt32K2;
+    if (s == "32k4")
+        return sim::L1Config::Sipt32K4;
+    if (s == "64k4")
+        return sim::L1Config::Sipt64K4;
+    if (s == "128k4")
+        return sim::L1Config::Sipt128K4;
+    usage();
+}
+
+IndexingPolicy
+parsePolicy(const std::string &s)
+{
+    if (s == "vipt")
+        return IndexingPolicy::Vipt;
+    if (s == "ideal")
+        return IndexingPolicy::Ideal;
+    if (s == "naive")
+        return IndexingPolicy::SiptNaive;
+    if (s == "bypass")
+        return IndexingPolicy::SiptBypass;
+    if (s == "combined")
+        return IndexingPolicy::SiptCombined;
+    usage();
+}
+
+sim::MemCondition
+parseCondition(const std::string &s)
+{
+    if (s == "normal")
+        return sim::MemCondition::Normal;
+    if (s == "frag")
+        return sim::MemCondition::Fragmented;
+    if (s == "thpoff")
+        return sim::MemCondition::ThpOff;
+    if (s == "nocontig")
+        return sim::MemCondition::NoContiguity;
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = "mcf";
+    sim::SystemConfig cfg;
+    cfg.l1Config = sim::L1Config::Sipt32K2;
+    cfg.policy = IndexingPolicy::SiptCombined;
+    cfg.measureRefs = sim::defaultMeasureRefs();
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            app = value();
+        } else if (arg == "--l1") {
+            cfg.l1Config = parseL1(value());
+        } else if (arg == "--policy") {
+            cfg.policy = parsePolicy(value());
+        } else if (arg == "--condition") {
+            cfg.condition = parseCondition(value());
+        } else if (arg == "--inorder") {
+            cfg.outOfOrder = false;
+        } else if (arg == "--waypred") {
+            cfg.wayPrediction = true;
+        } else if (arg == "--radix-walker") {
+            cfg.radixWalker = true;
+        } else if (arg == "--refs") {
+            cfg.measureRefs = std::strtoull(
+                value().c_str(), nullptr, 10);
+        } else if (arg == "--seed") {
+            cfg.seed =
+                std::strtoull(value().c_str(), nullptr, 10);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--list-apps") {
+            for (const auto &name : workload::allApps())
+                std::cout << name << '\n';
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    const auto r = sim::runSingleCore(app, cfg);
+
+    if (csv) {
+        sim::writeCsv(std::cout,
+                      {{"explorer",
+                        std::string(sim::l1ConfigName(
+                            cfg.l1Config)) +
+                            "/" + policyName(cfg.policy),
+                        r}});
+        return 0;
+    }
+
+    std::cout << app << " on " << sim::l1ConfigName(cfg.l1Config)
+              << " (" << policyName(cfg.policy) << ", "
+              << (cfg.outOfOrder ? "OOO" : "in-order") << ", "
+              << sim::conditionName(cfg.condition) << ")\n\n";
+    TextTable t({"metric", "value"});
+    auto row = [&](const char *name, double v, int prec = 3) {
+        t.beginRow();
+        t.add(name);
+        t.add(v, prec);
+    };
+    row("IPC", r.ipc);
+    row("L1 hit rate", r.l1HitRate);
+    row("L1 MPKI", r.l1Mpki, 1);
+    row("fast-access fraction", r.fastFraction);
+    row("extra array accesses",
+        static_cast<double>(r.l1.extraArrayAccesses));
+    row("huge-page coverage", r.hugeCoverage);
+    row("D-TLB hit rate", r.dtlbHitRate, 4);
+    row("page walks", static_cast<double>(r.pageWalks), 0);
+    row("energy (uJ)", r.energy.total() / 1000.0, 1);
+    row("dynamic energy (uJ)",
+        r.energy.dynamicTotal() / 1000.0, 1);
+    if (cfg.wayPrediction)
+        row("way-pred accuracy", r.wayPredAccuracy);
+    t.print(std::cout);
+    return 0;
+}

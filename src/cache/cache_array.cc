@@ -1,0 +1,216 @@
+#include "cache/cache_array.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::cache
+{
+
+std::uint32_t
+CacheGeometry::numSets() const
+{
+    return static_cast<std::uint32_t>(
+        sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes));
+}
+
+unsigned
+CacheGeometry::setBits() const
+{
+    return floorLog2(numSets());
+}
+
+unsigned
+CacheGeometry::speculativeBits() const
+{
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(numSets()) * lineBytes;
+    if (way_bytes <= pageSize)
+        return 0;
+    return floorLog2(way_bytes) - pageShift;
+}
+
+CacheArray::CacheArray(const CacheGeometry &geometry,
+                       std::uint64_t seed)
+    : geometry_(geometry), numSets_(geometry.numSets()),
+      assoc_(geometry.assoc),
+      lineShift_(floorLog2(geometry.lineBytes)),
+      rngState_(seed | 1),
+      lines_(static_cast<std::size_t>(numSets_) * geometry.assoc),
+      plruBits_(numSets_, 0), mru_(numSets_, 0)
+{
+    if (geometry.sizeBytes == 0 || geometry.assoc == 0 ||
+        geometry.lineBytes == 0) {
+        fatal("CacheArray: zero geometry parameter");
+    }
+    if (!isPowerOfTwo(numSets_))
+        fatal("CacheArray: number of sets must be a power of two");
+    if (!isPowerOfTwo(geometry.lineBytes))
+        fatal("CacheArray: line size must be a power of two");
+    if (geometry.lineBytes != lineSize)
+        warn("CacheArray: line size ", geometry.lineBytes,
+             " differs from the system line size");
+    if (assoc_ > 32)
+        fatal("CacheArray: associativity > 32 unsupported");
+}
+
+CacheArray::Line &
+CacheArray::line(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+const CacheArray::Line &
+CacheArray::line(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
+}
+
+int
+CacheArray::probe(std::uint32_t set, Addr paddr) const
+{
+    SIPT_ASSERT(set < numSets_, "set out of range");
+    const Addr want = paddr >> lineShift_;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        const Line &l = line(set, w);
+        if (l.valid && l.lineAddr == want)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+CacheArray::lookup(std::uint32_t set, Addr paddr)
+{
+    const int way = probe(set, paddr);
+    if (way >= 0)
+        touchLine(set, static_cast<std::uint32_t>(way));
+    return way;
+}
+
+void
+CacheArray::setDirty(std::uint32_t set, std::uint32_t way)
+{
+    SIPT_ASSERT(set < numSets_ && way < assoc_, "index range");
+    Line &l = line(set, way);
+    SIPT_ASSERT(l.valid, "setDirty on invalid line");
+    l.dirty = true;
+}
+
+std::optional<Eviction>
+CacheArray::insert(std::uint32_t set, Addr paddr, bool dirty)
+{
+    SIPT_ASSERT(set < numSets_, "set out of range");
+    SIPT_ASSERT(probe(set, paddr) < 0, "insert of resident line");
+
+    const std::uint32_t victim = selectVictim(set);
+    Line &l = line(set, victim);
+    std::optional<Eviction> evicted;
+    if (l.valid)
+        evicted = Eviction{l.lineAddr << lineShift_, l.dirty};
+    l.valid = true;
+    l.dirty = dirty;
+    l.lineAddr = paddr >> lineShift_;
+    touchLine(set, victim);
+    return evicted;
+}
+
+bool
+CacheArray::invalidate(std::uint32_t set, Addr paddr)
+{
+    const int way = probe(set, paddr);
+    if (way < 0)
+        return false;
+    line(set, static_cast<std::uint32_t>(way)).valid = false;
+    return true;
+}
+
+std::uint32_t
+CacheArray::mruWay(std::uint32_t set) const
+{
+    SIPT_ASSERT(set < numSets_, "set out of range");
+    return mru_[set];
+}
+
+std::uint64_t
+CacheArray::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+std::uint32_t
+CacheArray::selectVictim(std::uint32_t set)
+{
+    // Invalid ways first, regardless of policy.
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (!line(set, w).valid)
+            return w;
+    }
+
+    switch (geometry_.repl) {
+      case ReplPolicy::Lru: {
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < assoc_; ++w) {
+            if (line(set, w).lastUse < line(set, victim).lastUse)
+                victim = w;
+        }
+        return victim;
+      }
+      case ReplPolicy::TreePlru: {
+        // Walk the tree toward the *not*-recently-used side.
+        std::uint32_t node = 0;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = assoc_;
+        const std::uint32_t tree = plruBits_[set];
+        while (hi - lo > 1) {
+            const bool right = ((tree >> node) & 1u) == 0;
+            const std::uint32_t mid = (lo + hi) / 2;
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo;
+      }
+      case ReplPolicy::Random: {
+        rngState_ ^= rngState_ << 13;
+        rngState_ ^= rngState_ >> 7;
+        rngState_ ^= rngState_ << 17;
+        return static_cast<std::uint32_t>(rngState_ % assoc_);
+      }
+    }
+    panic("unreachable replacement policy");
+}
+
+void
+CacheArray::touchLine(std::uint32_t set, std::uint32_t way)
+{
+    line(set, way).lastUse = ++useClock_;
+    mru_[set] = way;
+    if (geometry_.repl == ReplPolicy::TreePlru) {
+        // Flip internal nodes on the path to point away from way.
+        std::uint32_t node = 0;
+        std::uint32_t lo = 0;
+        std::uint32_t hi = assoc_;
+        std::uint32_t tree = plruBits_[set];
+        while (hi - lo > 1) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            const bool went_right = way >= mid;
+            if (went_right) {
+                tree |= (1u << node);
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                tree &= ~(1u << node);
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        plruBits_[set] = tree;
+    }
+}
+
+} // namespace sipt::cache

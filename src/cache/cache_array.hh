@@ -1,0 +1,148 @@
+/**
+ * @file
+ * A set-associative cache tag/data array with pluggable replacement.
+ *
+ * The array is indexed explicitly by set number so that the SIPT L1
+ * controller can probe it with a *speculative* index while lines are
+ * always stored under their physical index. Tags store the full line
+ * address, which is what lets SIPT keep synonyms cached safely: a
+ * lookup can never false-hit, no matter which set was probed.
+ */
+
+#ifndef SIPT_CACHE_CACHE_ARRAY_HH
+#define SIPT_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sipt::cache
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,       ///< true LRU (per-line timestamps)
+    TreePlru,  ///< binary-tree pseudo-LRU
+    Random,    ///< xorshift-seeded random victim
+};
+
+/** Geometry of a cache array. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t lineBytes = 64;
+    ReplPolicy repl = ReplPolicy::Lru;
+
+    /** Number of sets implied by the geometry. */
+    std::uint32_t numSets() const;
+    /** log2(numSets). */
+    unsigned setBits() const;
+    /**
+     * Number of set-index bits that lie above the 4 KiB page offset
+     * (the bits SIPT must speculate on). 0 means VIPT-feasible.
+     */
+    unsigned speculativeBits() const;
+};
+
+/** A line evicted by an insertion. */
+struct Eviction
+{
+    Addr lineAddr = 0;
+    bool dirty = false;
+};
+
+/**
+ * The tag array proper. All addresses are *line* addresses
+ * (byte address >> lineShift) in the physical address space.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geometry,
+                        std::uint64_t seed = 7);
+
+    /** The set a physical byte address maps to. */
+    std::uint32_t
+    setOf(Addr paddr) const
+    {
+        return static_cast<std::uint32_t>(paddr >> lineShift_) &
+               (numSets_ - 1);
+    }
+
+    /**
+     * Probe @p set for the line containing @p paddr without
+     * updating replacement state.
+     * @return the way on a hit, -1 on a miss
+     */
+    int probe(std::uint32_t set, Addr paddr) const;
+
+    /**
+     * Look up @p paddr in @p set, updating replacement state on a
+     * hit.
+     * @return the way on a hit, -1 on a miss
+     */
+    int lookup(std::uint32_t set, Addr paddr);
+
+    /** Mark the line at (@p set, @p way) dirty. */
+    void setDirty(std::uint32_t set, std::uint32_t way);
+
+    /**
+     * Insert the line containing @p paddr into @p set.
+     * @return the eviction forced by the fill, if any
+     */
+    std::optional<Eviction> insert(std::uint32_t set, Addr paddr,
+                                   bool dirty);
+
+    /** Invalidate the line containing @p paddr if present in
+     *  @p set. @return true when a line was invalidated. */
+    bool invalidate(std::uint32_t set, Addr paddr);
+
+    /** The MRU way of @p set (for way prediction); 0 if empty. */
+    std::uint32_t mruWay(std::uint32_t set) const;
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    unsigned lineShift() const { return lineShift_; }
+    const CacheGeometry &geometry() const { return geometry_; }
+
+    /** Count of currently valid lines (test/inspection aid). */
+    std::uint64_t validLines() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr lineAddr = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line &line(std::uint32_t set, std::uint32_t way);
+    const Line &line(std::uint32_t set, std::uint32_t way) const;
+
+    /** Choose a victim way in @p set per the replacement policy. */
+    std::uint32_t selectVictim(std::uint32_t set);
+
+    /** Update replacement metadata after touching (set, way). */
+    void touchLine(std::uint32_t set, std::uint32_t way);
+
+    CacheGeometry geometry_;
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    unsigned lineShift_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t rngState_;
+    std::vector<Line> lines_;
+    /** Tree-PLRU state: one bit vector per set (assoc-1 bits). */
+    std::vector<std::uint32_t> plruBits_;
+    /** MRU way per set, maintained for way prediction. */
+    std::vector<std::uint32_t> mru_;
+};
+
+} // namespace sipt::cache
+
+#endif // SIPT_CACHE_CACHE_ARRAY_HH

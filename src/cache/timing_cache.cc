@@ -1,0 +1,46 @@
+#include "cache/timing_cache.hh"
+
+namespace sipt::cache
+{
+
+TimingCache::TimingCache(const TimingCacheParams &params)
+    : params_(params), array_(params.geometry)
+{
+}
+
+TimingCacheResult
+TimingCache::access(Addr paddr, bool write)
+{
+    ++accesses_;
+    TimingCacheResult res;
+    const std::uint32_t set = array_.setOf(paddr);
+    const int way = array_.lookup(set, paddr);
+    if (way >= 0) {
+        ++hits_;
+        res.hit = true;
+        if (write)
+            array_.setDirty(set, static_cast<std::uint32_t>(way));
+        return res;
+    }
+    ++misses_;
+    const auto evicted = array_.insert(set, paddr, write);
+    if (evicted && evicted->dirty) {
+        ++writebacks_;
+        res.writebackAddr = evicted->lineAddr;
+    }
+    return res;
+}
+
+TimingCacheResult
+TimingCache::read(Addr paddr)
+{
+    return access(paddr, false);
+}
+
+TimingCacheResult
+TimingCache::write(Addr paddr)
+{
+    return access(paddr, true);
+}
+
+} // namespace sipt::cache

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * MRU way prediction (Inoue, Ishihara, Murakami, ISLPED '99), the
+ * variant evaluated in Section VII-A of the SIPT paper: the
+ * most-recently-used way of the (possibly speculative) set is
+ * predicted; only that way's data array is read. A correct
+ * prediction costs 1/assoc of the dynamic access energy; an
+ * incorrect one requires a second access that activates the
+ * remaining ways and adds a small latency penalty.
+ */
+
+#ifndef SIPT_CACHE_WAY_PREDICTOR_HH
+#define SIPT_CACHE_WAY_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "cache/cache_array.hh"
+#include "common/types.hh"
+
+namespace sipt::cache
+{
+
+/**
+ * MRU way predictor over a CacheArray. The MRU metadata lives in
+ * the array (it is updated by normal replacement bookkeeping); this
+ * class adds the prediction protocol and its statistics.
+ */
+class WayPredictor
+{
+  public:
+    /** Extra latency of a second access after a wrong way guess. */
+    static constexpr Cycles mispredictPenalty = 1;
+
+    explicit WayPredictor(const CacheArray &array) : array_(array) {}
+
+    /** Predicted way for an access to @p set. */
+    std::uint32_t
+    predict(std::uint32_t set) const
+    {
+        return array_.mruWay(set);
+    }
+
+    /**
+     * Record the outcome of an access that hit in @p actual_way of
+     * @p set having predicted @p predicted_way.
+     *
+     * @return the latency penalty (0 on a correct prediction)
+     */
+    Cycles
+    recordHit(std::uint32_t predicted_way, std::uint32_t actual_way)
+    {
+        if (predicted_way == actual_way) {
+            ++correct_;
+            return 0;
+        }
+        ++wrong_;
+        return mispredictPenalty;
+    }
+
+    /**
+     * Record an access that missed the cache entirely. The
+     * predicted way was read in vain, but the miss dominates both
+     * latency and energy so it is accounted as neither correct nor
+     * wrong for accuracy purposes (matching the paper, which
+     * reports way-prediction accuracy over hits).
+     */
+    void recordMiss() { ++misses_; }
+
+    std::uint64_t correct() const { return correct_; }
+    std::uint64_t wrong() const { return wrong_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Prediction accuracy over cache hits. */
+    double
+    accuracy() const
+    {
+        const std::uint64_t total = correct_ + wrong_;
+        return total ? static_cast<double>(correct_) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Zero the counters (warmup). */
+    void resetStats() { correct_ = wrong_ = misses_ = 0; }
+
+  private:
+    const CacheArray &array_;
+    std::uint64_t correct_ = 0;
+    std::uint64_t wrong_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sipt::cache
+
+#endif // SIPT_CACHE_WAY_PREDICTOR_HH

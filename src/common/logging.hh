@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * @c fatal() terminates on a user error (bad configuration) with
+ * exit(1); @c panic() terminates on an internal invariant violation
+ * with abort(); @c warn() reports suspicious-but-survivable
+ * conditions.
+ */
+
+#ifndef SIPT_COMMON_LOGGING_HH
+#define SIPT_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace sipt
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into one message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort the simulation because of a user error (bad configuration,
+ * invalid arguments). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(
+        detail::formatMessage(std::forward<Args>(args)...),
+        nullptr, 0);
+}
+
+/**
+ * Abort the simulation because of an internal bug: a condition that
+ * must never occur regardless of user input. Calls abort().
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(
+        detail::formatMessage(std::forward<Args>(args)...),
+        nullptr, 0);
+}
+
+/** Report a survivable but suspicious condition to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(
+        detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report a normal status message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(
+        detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+#define SIPT_ASSERT(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::sipt::panic("assertion failed: ", #cond, " ",          \
+                          ##__VA_ARGS__);                             \
+        }                                                             \
+    } while (false)
+
+} // namespace sipt
+
+#endif // SIPT_COMMON_LOGGING_HH

@@ -1,0 +1,78 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sipt
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::beginRow()
+{
+    data_.emplace_back();
+}
+
+void
+TextTable::add(const std::string &cell)
+{
+    SIPT_ASSERT(!data_.empty(), "beginRow() before add()");
+    data_.back().push_back(cell);
+}
+
+void
+TextTable::add(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    add(os.str());
+}
+
+void
+TextTable::add(std::uint64_t value)
+{
+    add(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : data_) {
+        for (std::size_t c = 0;
+             c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(
+                static_cast<int>(widths[std::min(c,
+                    widths.size() - 1)]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : data_)
+        emit_row(row);
+}
+
+} // namespace sipt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fundamental address and time types shared by every SIPT module.
+ *
+ * The simulator models a 64-bit machine with 4 KiB base pages and
+ * 2 MiB transparent huge pages, matching the system evaluated in the
+ * SIPT paper (HPCA 2018).
+ */
+
+#ifndef SIPT_COMMON_TYPES_HH
+#define SIPT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sipt
+{
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A virtual page number (VA >> pageShift). */
+using Vpn = std::uint64_t;
+
+/** A physical frame number (PA >> pageShift). */
+using Pfn = std::uint64_t;
+
+/** Simulated time measured in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A simulated instruction count. */
+using InstCount = std::uint64_t;
+
+/** log2 of the base page size (4 KiB). */
+constexpr unsigned pageShift = 12;
+
+/** Base page size in bytes. */
+constexpr Addr pageSize = Addr{1} << pageShift;
+
+/** log2 of the transparent-huge-page size (2 MiB). */
+constexpr unsigned hugePageShift = 21;
+
+/** Huge page size in bytes. */
+constexpr Addr hugePageSize = Addr{1} << hugePageShift;
+
+/** Number of base pages per huge page (512). */
+constexpr std::uint64_t pagesPerHugePage =
+    hugePageSize / pageSize;
+
+/** log2 of the cache line size (64 B, Tab. I of the paper). */
+constexpr unsigned lineShift = 6;
+
+/** Cache line size in bytes. */
+constexpr Addr lineSize = Addr{1} << lineShift;
+
+/** An invalid frame number used as a sentinel. */
+constexpr Pfn invalidPfn = ~Pfn{0};
+
+/** Kinds of memory reference issued by a core. */
+enum class MemOp : std::uint8_t
+{
+    Load,
+    Store,
+};
+
+/**
+ * A single memory reference in a workload trace.
+ *
+ * @c pc drives the PC-indexed predictors; @c vaddr is translated by
+ * the simulated MMU. @c nonMemBefore counts the non-memory
+ * instructions the core executes before this reference, so a trace of
+ * references also fully determines the instruction stream length.
+ * @c dependsOnPrev marks pointer-chase loads whose address depends on
+ * an earlier load's value; @c chainId selects which dependence chain
+ * (real programs chase several independent chains concurrently,
+ * which is what gives them memory-level parallelism).
+ */
+struct MemRef
+{
+    Addr pc = 0;
+    Addr vaddr = 0;
+    MemOp op = MemOp::Load;
+    std::uint32_t nonMemBefore = 0;
+    bool dependsOnPrev = false;
+    std::uint8_t chainId = 0;
+    /** Dependent ALU cycles between this load's result and the
+     *  next link's address (pointer arithmetic, compares). */
+    std::uint8_t chainTail = 0;
+};
+
+} // namespace sipt
+
+#endif // SIPT_COMMON_TYPES_HH

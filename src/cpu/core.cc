@@ -1,0 +1,166 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sipt::cpu
+{
+
+CoreParams
+inOrderCoreParams()
+{
+    CoreParams p;
+    p.outOfOrder = false;
+    p.width = 2;
+    p.robSize = 0;
+    p.loadWindow = 0;
+    p.mshrs = 4;
+    p.effectiveIlp = 1.5;
+    return p;
+}
+
+CoreParams
+outOfOrderCoreParams()
+{
+    return CoreParams{};
+}
+
+double
+CoreResult::seconds(double freq_ghz) const
+{
+    return cycles / (freq_ghz * 1e9);
+}
+
+TraceCore::TraceCore(const CoreParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (params.width == 0)
+        fatal("TraceCore: zero issue width");
+    if (params.effectiveIlp <= 0.0)
+        fatal("TraceCore: effectiveIlp must be positive");
+    if (params.outOfOrder) {
+        if (params.loadWindow == 0 || params.mshrs == 0)
+            fatal("TraceCore: OOO core needs loadWindow and mshrs");
+        robRing_.assign(params.loadWindow, 0.0);
+    }
+    mshrRing_.assign(std::max<std::uint32_t>(params.mshrs, 1), 0.0);
+    chainComp_.assign(numChains, 0.0);
+}
+
+std::uint32_t
+TraceCore::sampleUseDistance()
+{
+    // Heavy-headed distribution: a sizeable fraction of loads have
+    // their first consumer within a couple of instructions (these
+    // are the loads that expose L1 hit latency), with a long tail
+    // that the compiler/scheduler has hidden.
+    const double r = rng_.uniform();
+    if (r < 0.10)
+        return 0;
+    if (r < 0.18)
+        return 1;
+    if (r < 0.25)
+        return 2;
+    if (r < 0.31)
+        return 3;
+    if (r < 0.37)
+        return 5;
+    return 8 + static_cast<std::uint32_t>(rng_.below(24));
+}
+
+CoreResult
+TraceCore::run(TraceSource &source, MemPort &port,
+               std::uint64_t max_refs)
+{
+    const double slot =
+        1.0 / std::min(static_cast<double>(params_.width),
+                       params_.effectiveIlp);
+    const double start_cycles =
+        std::max(now_, retireEnvelope_);
+    const InstCount start_insts = instructions_;
+    const std::uint64_t start_refs = memRefs_;
+
+    MemRef ref;
+    for (std::uint64_t i = 0; i < max_refs; ++i) {
+        if (!source.next(ref))
+            break;
+
+        // Issue bandwidth for the preceding non-memory work and
+        // for the memory instruction itself.
+        now_ += static_cast<double>(ref.nonMemBefore) * slot;
+        instructions_ += ref.nonMemBefore + 1;
+        ++memRefs_;
+        now_ += slot;
+
+        // ROB-window constraint: dispatch (in program order)
+        // stalls when the op loadWindow ops earlier has not yet
+        // retired, which pushes the whole issue front forward.
+        if (params_.outOfOrder) {
+            now_ = std::max(
+                now_,
+                robRing_[memOpIndex_ % params_.loadWindow]);
+        }
+        double disp = now_;
+
+        // Address dependence on an earlier load (pointer chase):
+        // the load sits in the issue queue until its chain's
+        // producer completes, but dispatch continues.
+        if (ref.dependsOnPrev) {
+            disp = std::max(
+                disp, chainComp_[ref.chainId % numChains]);
+        }
+
+        bool miss = false;
+        const Cycles latency = port.access(
+            ref, static_cast<Cycles>(disp), miss);
+        double comp = disp + static_cast<double>(latency);
+
+        // MSHR constraint: with all miss registers busy, the miss
+        // waits for the oldest outstanding one.
+        if (miss) {
+            const double free_at =
+                mshrRing_[missIndex_ % mshrRing_.size()];
+            if (free_at > disp)
+                comp += free_at - disp;
+            mshrRing_[missIndex_ % mshrRing_.size()] = comp;
+            ++missIndex_;
+        }
+
+        if (ref.op == MemOp::Load) {
+            if (ref.dependsOnPrev) {
+                chainComp_[ref.chainId % numChains] =
+                    comp + ref.chainTail;
+            }
+            if (!params_.outOfOrder) {
+                // The consumer issues useDist instructions later;
+                // if the load has not completed by then the
+                // pipeline stalls until it has.
+                const double use_at =
+                    now_ +
+                    static_cast<double>(sampleUseDistance()) *
+                        slot;
+                if (comp > use_at)
+                    now_ += comp - use_at;
+            }
+        }
+
+        // In-order retirement envelope feeds the ROB ring.
+        retireEnvelope_ = std::max(retireEnvelope_, comp);
+        if (params_.outOfOrder) {
+            robRing_[memOpIndex_ % params_.loadWindow] =
+                retireEnvelope_;
+            ++memOpIndex_;
+        }
+    }
+
+    CoreResult res;
+    // The run ends when the last instruction retires, not merely
+    // when it dispatches.
+    res.cycles = std::max(now_, retireEnvelope_) - start_cycles;
+    res.instructions = instructions_ - start_insts;
+    res.memRefs = memRefs_ - start_refs;
+    return res;
+}
+
+} // namespace sipt::cpu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * The paper's methodology is trace-driven (Macsim traces with
+ * recorded VA/PA/page-flag information). These adaptors provide
+ * the same workflow for our synthetic sources: record a reference
+ * window once, then replay it identically against any number of
+ * cache configurations — which also mirrors the multicore driver's
+ * "recycle traces until the last core completes" rule.
+ */
+
+#ifndef SIPT_CPU_REPLAY_HH
+#define SIPT_CPU_REPLAY_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/trace_source.hh"
+
+namespace sipt::cpu
+{
+
+/**
+ * Wraps a source and keeps a copy of everything it produced.
+ */
+class RecordingSource : public TraceSource
+{
+  public:
+    explicit RecordingSource(TraceSource &inner) : inner_(inner) {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (!inner_.next(ref))
+            return false;
+        recorded_.push_back(ref);
+        return true;
+    }
+
+    /** The references produced so far. */
+    const std::vector<MemRef> &trace() const { return recorded_; }
+
+    /** Move the recording out (leaves the recorder empty). */
+    std::vector<MemRef>
+    takeTrace()
+    {
+        return std::exchange(recorded_, {});
+    }
+
+  private:
+    TraceSource &inner_;
+    std::vector<MemRef> recorded_;
+};
+
+/**
+ * Replays a recorded reference vector; optionally loops forever
+ * (trace recycling).
+ */
+class ReplaySource : public TraceSource
+{
+  public:
+    /**
+     * @param trace the recorded references (copied in)
+     * @param loop restart from the beginning when exhausted
+     */
+    explicit ReplaySource(std::vector<MemRef> trace,
+                          bool loop = false)
+        : trace_(std::move(trace)), loop_(loop)
+    {
+    }
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos_ >= trace_.size()) {
+            if (!loop_ || trace_.empty())
+                return false;
+            pos_ = 0;
+            ++laps_;
+        }
+        ref = trace_[pos_++];
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        pos_ = 0;
+        laps_ = 0;
+    }
+
+    /** Number of times the trace wrapped around. */
+    std::uint64_t laps() const { return laps_; }
+
+    std::size_t size() const { return trace_.size(); }
+
+  private:
+    std::vector<MemRef> trace_;
+    bool loop_;
+    std::size_t pos_ = 0;
+    std::uint64_t laps_ = 0;
+};
+
+} // namespace sipt::cpu
+
+#endif // SIPT_CPU_REPLAY_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The interface between workload generators and core models: a pull
+ * source of memory references (with embedded non-memory instruction
+ * counts), substituting for the paper's Macsim trace files.
+ */
+
+#ifndef SIPT_CPU_TRACE_SOURCE_HH
+#define SIPT_CPU_TRACE_SOURCE_HH
+
+#include "common/types.hh"
+
+namespace sipt::cpu
+{
+
+/**
+ * A stream of memory references. Implementations may be synthetic
+ * generators or replayers of recorded traces.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @return false when the trace is exhausted (sources may be
+     *         infinite; callers bound the run by reference count)
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Restart the stream from the beginning, when supported. */
+    virtual void reset() {}
+};
+
+} // namespace sipt::cpu
+
+#endif // SIPT_CPU_TRACE_SOURCE_HH

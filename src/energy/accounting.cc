@@ -1,0 +1,48 @@
+#include "energy/accounting.hh"
+
+namespace sipt::energy
+{
+
+namespace
+{
+
+/** mW x seconds -> nJ (1 mW = 1e6 nJ/s). */
+double
+staticNj(double power_mw, double seconds)
+{
+    return power_mw * 1e6 * seconds;
+}
+
+} // namespace
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &other)
+{
+    l1Dynamic += other.l1Dynamic;
+    l2Dynamic += other.l2Dynamic;
+    llcDynamic += other.llcDynamic;
+    l1Static += other.l1Static;
+    l2Static += other.l2Static;
+    llcStatic += other.llcStatic;
+    return *this;
+}
+
+EnergyBreakdown
+computeEnergy(const SiptL1Cache &l1, const cache::BelowL1 &below,
+              double llc_dynamic_share, double llc_static_mw,
+              double seconds)
+{
+    EnergyBreakdown e;
+    e.l1Dynamic = l1.dynamicEnergyNj();
+    e.l1Static = staticNj(l1.params().staticPowerMw, seconds);
+    if (const auto *l2 = below.l2()) {
+        e.l2Dynamic = l2->dynamicEnergyNj();
+        e.l2Static =
+            staticNj(l2->params().staticPowerMw, seconds);
+    }
+    e.llcDynamic = llc_dynamic_share;
+    e.llcStatic = staticNj(llc_static_mw, seconds);
+    return e;
+}
+
+} // namespace sipt::energy

@@ -1,0 +1,105 @@
+#include "energy/cacti_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sipt::energy
+{
+
+namespace
+{
+
+/** Superlinear associativity latency term: parallel way compare
+ *  and mux grow quickly beyond 4 ways (Fig. 1's key shape). */
+double
+assocLatencyTerm(std::uint32_t assoc)
+{
+    switch (assoc) {
+      case 1:
+        return 0.25;
+      case 2:
+        return 0.45;
+      case 4:
+        return 0.85;
+      case 8:
+        return 1.70;
+      case 16:
+        return 2.60;
+      case 32:
+        return 3.80;
+      default:
+        // Smooth fallback for unusual associativities.
+        return 0.45 * std::pow(static_cast<double>(assoc) / 2.0,
+                               0.77);
+    }
+}
+
+} // namespace
+
+double
+CactiModel::latencyRaw(const ArrayConfig &config)
+{
+    if (config.sizeBytes == 0 || config.assoc == 0)
+        fatal("CactiModel: zero size or associativity");
+
+    const double size_term =
+        0.40 * std::log2(static_cast<double>(config.sizeBytes) /
+                         (16.0 * 1024.0));
+    double latency = 1.0 + assocLatencyTerm(config.assoc) +
+                     std::max(0.0, size_term);
+
+    // A second read port roughly doubles wordline/bitline load.
+    if (config.readPorts >= 2)
+        latency *= 1.55 + 0.25 * (config.readPorts - 2);
+
+    // Banking shortens bitlines but adds routing: mild, non-
+    // monotone effect that widens the Fig. 1 range bars.
+    if (config.banks == 2)
+        latency *= 0.96;
+    else if (config.banks >= 4)
+        latency *= 1.06;
+
+    return latency;
+}
+
+Cycles
+CactiModel::latencyCycles(const ArrayConfig &config)
+{
+    return static_cast<Cycles>(std::ceil(latencyRaw(config)));
+}
+
+double
+CactiModel::accessEnergyNj(const ArrayConfig &config)
+{
+    // Anchored at 32 KiB / 8-way = 0.38 nJ (Tab. II); energy is
+    // nearly linear in associativity (all ways read in parallel)
+    // and sublinear in capacity.
+    const double assoc_term =
+        std::pow(static_cast<double>(config.assoc), 0.96);
+    const double size_term =
+        std::pow(static_cast<double>(config.sizeBytes) /
+                     (32.0 * 1024.0),
+                 0.45);
+    double energy = 0.050 * assoc_term * size_term;
+    if (config.readPorts >= 2)
+        energy *= 1.8;
+    return energy;
+}
+
+double
+CactiModel::staticPowerMw(const ArrayConfig &config)
+{
+    const double size_term =
+        std::pow(static_cast<double>(config.sizeBytes) /
+                     (32.0 * 1024.0),
+                 0.60);
+    const double assoc_term =
+        std::pow(static_cast<double>(config.assoc), 0.45);
+    double power = 16.5 * size_term * assoc_term;
+    if (config.readPorts >= 2)
+        power *= 1.5;
+    return power;
+}
+
+} // namespace sipt::energy

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * An analytical CACTI-like latency/energy/area model for L1 cache
+ * arrays, substituting for CACTI 6.5 in the paper's methodology.
+ *
+ * The model is anchored to the operating points the paper publishes
+ * in Tab. II (latency in cycles at 3 GHz, dynamic nJ/access, static
+ * mW for five L1 configurations) and reproduces the qualitative
+ * findings of Fig. 1: associativity affects latency more than
+ * capacity, sharply beyond 4 ways; extra read ports increase
+ * latency; banking perturbs it mildly. Absolute values for
+ * configurations outside the anchor set are extrapolations.
+ */
+
+#ifndef SIPT_ENERGY_CACTI_MODEL_HH
+#define SIPT_ENERGY_CACTI_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sipt::energy
+{
+
+/** A cache configuration evaluated by the model (Tab. I space). */
+struct ArrayConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 8;
+    std::uint32_t readPorts = 1;
+    std::uint32_t banks = 1;
+};
+
+/**
+ * CACTI-like closed-form model.
+ */
+class CactiModel
+{
+  public:
+    /**
+     * Unquantised access latency in "cycle units" at 3 GHz; use
+     * for normalised comparisons (Fig. 1).
+     */
+    static double latencyRaw(const ArrayConfig &config);
+
+    /** Latency quantised to whole cycles (ceil), as a pipeline
+     *  would provision it. */
+    static Cycles latencyCycles(const ArrayConfig &config);
+
+    /** Dynamic energy per parallel-way access, in nJ. */
+    static double accessEnergyNj(const ArrayConfig &config);
+
+    /** Static (leakage) power in mW. */
+    static double staticPowerMw(const ArrayConfig &config);
+};
+
+} // namespace sipt::energy
+
+#endif // SIPT_ENERGY_CACTI_MODEL_HH

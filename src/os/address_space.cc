@@ -1,0 +1,172 @@
+#include "os/address_space.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::os
+{
+
+namespace
+{
+/** Buddy order of a 2 MiB huge page (512 x 4 KiB frames). */
+constexpr unsigned hugeOrder = hugePageShift - pageShift;
+} // namespace
+
+AddressSpace::AddressSpace(BuddyAllocator &allocator,
+                           PagingPolicy policy, std::uint64_t seed,
+                           Addr va_base)
+    : allocator_(allocator), policy_(policy), rng_(seed),
+      nextVa_(va_base)
+{
+    if (policy_.coloringBits > hugeOrder)
+        fatal("coloringBits > ", hugeOrder, " unsupported");
+}
+
+AddressSpace::~AddressSpace()
+{
+    for (const auto &a : allocations_)
+        allocator_.free(a.base, a.order);
+}
+
+Addr
+AddressSpace::mmap(std::uint64_t length, unsigned align_log2,
+                   std::uint64_t skew_pages)
+{
+    if (length == 0)
+        fatal("mmap of zero length");
+    if (align_log2 < pageShift)
+        fatal("mmap alignment below page size");
+
+    length = alignUp(length, pageSize);
+    const Addr base =
+        alignUp(nextVa_, Addr{1} << align_log2) +
+        skew_pages * pageSize;
+    // Leave an unmapped guard page between regions so that adjacent
+    // regions never share a huge-page chunk by accident.
+    nextVa_ = base + length + pageSize;
+    regions_.push_back({base, length});
+    return base;
+}
+
+Addr
+AddressSpace::mmapAlias(Addr existing_va, std::uint64_t length,
+                        unsigned align_log2,
+                        std::uint64_t skew_pages)
+{
+    if (length == 0)
+        fatal("mmapAlias of zero length");
+    length = alignUp(length, pageSize);
+    const Addr base = mmap(length, align_log2, skew_pages);
+    // Map each alias page onto the existing page's frame. The
+    // source pages must be 4 KiB mappings (sharing part of a
+    // huge page is not modelled).
+    for (Addr off = 0; off < length; off += pageSize) {
+        const Addr src = existing_va + off;
+        const auto xlat = pageTable_.translate(src);
+        if (!xlat)
+            fatal("mmapAlias: source va ", src, " not mapped");
+        if (xlat->hugePage)
+            fatal("mmapAlias: source va ", src,
+                  " is huge-page mapped");
+        pageTable_.mapPage(base + off, xlat->paddr >> pageShift);
+        // No allocation record: the frames belong to the original
+        // mapping and are freed through it.
+    }
+    return base;
+}
+
+const AddressSpace::Region *
+AddressSpace::findRegion(Addr vaddr) const
+{
+    for (const auto &r : regions_) {
+        if (vaddr >= r.base && vaddr < r.base + r.length)
+            return &r;
+    }
+    return nullptr;
+}
+
+bool
+AddressSpace::touch(Addr vaddr)
+{
+    if (pageTable_.isMapped(vaddr))
+        return false;
+    fault(vaddr);
+    return true;
+}
+
+vm::Translation
+AddressSpace::translateTouch(Addr vaddr)
+{
+    touch(vaddr);
+    const auto xlat = pageTable_.translate(vaddr);
+    SIPT_ASSERT(xlat.has_value(), "fault did not map page");
+    return *xlat;
+}
+
+void
+AddressSpace::fault(Addr vaddr)
+{
+    const Region *region = findRegion(vaddr);
+    if (region == nullptr)
+        fatal("segfault: access to unmapped va ", vaddr);
+
+    // THP: promote when the full 2 MiB chunk lies inside the region,
+    // no 4 KiB page of the chunk is already mapped, and a 2 MiB
+    // physical block is available.
+    if (policy_.thpEnabled && !policy_.randomPlacement) {
+        const Addr chunk_base = alignDown(vaddr, hugePageSize);
+        const bool inside =
+            chunk_base >= region->base &&
+            chunk_base + hugePageSize <=
+                region->base + region->length;
+        if (inside && !pageTable_.chunkHasSmallMappings(vaddr) &&
+            (policy_.thpChance >= 1.0 ||
+             rng_.chance(policy_.thpChance))) {
+            if (auto pfn = allocator_.allocate(hugeOrder)) {
+                pageTable_.mapHugePage(vaddr, *pfn);
+                allocations_.push_back({*pfn, hugeOrder});
+                ++hugeFaults_;
+                return;
+            }
+        }
+    }
+    mapSmall(vaddr);
+}
+
+void
+AddressSpace::mapSmall(Addr vaddr)
+{
+    std::optional<Pfn> pfn;
+    if (policy_.randomPlacement) {
+        pfn = allocator_.allocateRandom(0, rng_);
+    } else if (policy_.coloringBits > 0) {
+        pfn = allocator_.allocateColored(0, vaddr >> pageShift,
+                                         policy_.coloringBits);
+        if (!pfn)
+            pfn = allocator_.allocate(0);
+    } else {
+        pfn = allocator_.allocate(0);
+    }
+    if (!pfn)
+        fatal("out of physical memory");
+    pageTable_.mapPage(vaddr, *pfn);
+    allocations_.push_back({*pfn, 0});
+    ++smallFaults_;
+}
+
+double
+AddressSpace::hugeCoverage() const
+{
+    const double huge_bytes =
+        static_cast<double>(pageTable_.hugePageCount()) *
+        static_cast<double>(hugePageSize);
+    const double small_bytes =
+        static_cast<double>(pageTable_.smallPageCount()) *
+        static_cast<double>(pageSize);
+    const double total = huge_bytes + small_bytes;
+    return total > 0.0 ? huge_bytes / total : 0.0;
+}
+
+} // namespace sipt::os

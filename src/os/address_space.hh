@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A process address space with demand paging and transparent huge
+ * pages, backed by the buddy allocator.
+ *
+ * Workload generators mmap() anonymous regions and then simply issue
+ * virtual addresses; the first touch of a page triggers a simulated
+ * page fault that picks a physical frame. The placement policy
+ * (THP on/off, page coloring, random scatter) determines the VA->PA
+ * delta structure that SIPT speculates on.
+ */
+
+#ifndef SIPT_OS_ADDRESS_SPACE_HH
+#define SIPT_OS_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "os/buddy_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace sipt::os
+{
+
+/** Physical placement policy for demand faults. */
+struct PagingPolicy
+{
+    /** Map eligible 2 MiB chunks with transparent huge pages. */
+    bool thpEnabled = true;
+    /**
+     * Probability that an eligible chunk actually gets a huge page
+     * (models defrag failures / khugepaged lag); 1.0 = always.
+     */
+    double thpChance = 1.0;
+    /**
+     * Place every 4 KiB page on a uniformly random free frame,
+     * destroying all >4KiB contiguity (Fig. 18 "no contiguity").
+     */
+    bool randomPlacement = false;
+    /**
+     * Page-coloring bits: prefer frames with
+     * PFN = VPN (mod 2^coloringBits). 0 disables coloring.
+     */
+    unsigned coloringBits = 0;
+};
+
+/**
+ * One simulated process: VA layout, page table, and fault handling.
+ */
+class AddressSpace
+{
+  public:
+    /**
+     * @param allocator shared physical allocator
+     * @param policy placement policy for this process
+     * @param seed RNG seed for randomised placement decisions
+     * @param va_base first virtual address handed out by mmap()
+     */
+    AddressSpace(BuddyAllocator &allocator, PagingPolicy policy,
+                 std::uint64_t seed = 1,
+                 Addr va_base = Addr{0x10} << 30);
+
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /**
+     * Reserve an anonymous region of @p length bytes.
+     *
+     * @param length region size (rounded up to whole pages)
+     * @param align_log2 log2 of the VA alignment of the region base
+     *        (>= pageShift); glibc-style large allocations default
+     *        to 2 MiB alignment
+     * @param skew_pages extra pages added after alignment, to model
+     *        allocators that place data at unaligned offsets
+     * @return base virtual address of the region
+     */
+    Addr mmap(std::uint64_t length,
+              unsigned align_log2 = hugePageShift,
+              std::uint64_t skew_pages = 0);
+
+    /**
+     * Ensure the page containing @p vaddr is mapped, faulting it in
+     * if necessary.
+     *
+     * @return true when this touch caused a page fault
+     */
+    bool touch(Addr vaddr);
+
+    /**
+     * Create a synonym: reserve a new region of @p length bytes
+     * whose pages map to the *same physical frames* as the pages
+     * starting at @p existing_va (which must already be mapped,
+     * 4 KiB granularity). This models shared mappings (mmap of
+     * the same file twice, shm) — the case that makes virtually
+     * tagged caches hard and that SIPT handles for free via full
+     * physical tags (paper Sec. II).
+     *
+     * @return base virtual address of the alias region
+     */
+    Addr mmapAlias(Addr existing_va, std::uint64_t length,
+                   unsigned align_log2 = hugePageShift,
+                   std::uint64_t skew_pages = 0);
+
+    /** Translate @p vaddr, faulting the page in first if needed. */
+    vm::Translation translateTouch(Addr vaddr);
+
+    /** The page table populated by this address space. */
+    const vm::PageTable &pageTable() const { return pageTable_; }
+    vm::PageTable &pageTable() { return pageTable_; }
+
+    /** Number of demand faults served with a 2 MiB page. */
+    std::uint64_t hugeFaults() const { return hugeFaults_; }
+
+    /** Number of demand faults served with a 4 KiB page. */
+    std::uint64_t smallFaults() const { return smallFaults_; }
+
+    /** Fraction of mapped memory backed by huge pages. */
+    double hugeCoverage() const;
+
+    const PagingPolicy &policy() const { return policy_; }
+
+  private:
+    struct Region
+    {
+        Addr base;
+        std::uint64_t length;
+    };
+
+    struct Allocation
+    {
+        Pfn base;
+        unsigned order;
+    };
+
+    /** Find the region containing @p vaddr, or nullptr. */
+    const Region *findRegion(Addr vaddr) const;
+
+    /** Handle a demand fault on @p vaddr. */
+    void fault(Addr vaddr);
+
+    /** Pick and map a 4 KiB frame for @p vaddr. */
+    void mapSmall(Addr vaddr);
+
+    BuddyAllocator &allocator_;
+    PagingPolicy policy_;
+    Rng rng_;
+    Addr nextVa_;
+    vm::PageTable pageTable_;
+    std::vector<Region> regions_;
+    std::vector<Allocation> allocations_;
+    std::uint64_t hugeFaults_ = 0;
+    std::uint64_t smallFaults_ = 0;
+};
+
+} // namespace sipt::os
+
+#endif // SIPT_OS_ADDRESS_SPACE_HH

@@ -1,0 +1,184 @@
+#include "os/fragmenter.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sipt::os
+{
+
+MemoryFragmenter::MemoryFragmenter(BuddyAllocator &allocator)
+    : allocator_(allocator)
+{
+}
+
+MemoryFragmenter::~MemoryFragmenter()
+{
+    release();
+}
+
+double
+MemoryFragmenter::fragmentTo(double target_fu, unsigned j, Rng &rng,
+                             double min_free_fraction)
+{
+    const std::uint64_t total = allocator_.totalFrames();
+    const auto min_free = static_cast<std::uint64_t>(
+        min_free_fraction * static_cast<double>(total));
+
+    // Phase 1: grab nearly all free memory as order-0 pages.
+    std::vector<Pfn> grabbed;
+    grabbed.reserve(allocator_.freeFrames());
+    while (allocator_.freeFrames() > 0) {
+        auto pfn = allocator_.allocate(0);
+        if (!pfn)
+            break;
+        grabbed.push_back(*pfn);
+    }
+
+    // Phase 2: release a scattered subset (every k-th page of a
+    // shuffled order) until the free floor is restored. Released
+    // singles have pinned buddies, so they cannot coalesce.
+    for (std::size_t i = grabbed.size(); i > 1; --i) {
+        std::swap(grabbed[i - 1],
+                  grabbed[rng.below(i)]);
+    }
+    std::size_t idx = 0;
+    while (allocator_.freeFrames() < min_free &&
+           idx < grabbed.size()) {
+        allocator_.free(grabbed[idx], 0);
+        ++idx;
+    }
+
+    // Phase 3: if we overshot the target (memory too fragmented is
+    // the norm here; Fu typically ~1), release whole aligned 2^j
+    // runs to create usable blocks until Fu drops to the target.
+    // We scan the still-pinned tail for runs that form a full
+    // naturally aligned block.
+    pinned_.assign(grabbed.begin() + static_cast<long>(idx),
+                   grabbed.end());
+    if (allocator_.unusableFreeSpaceIndex(j) > target_fu) {
+        // Sort pinned frames so aligned runs are easy to find.
+        std::sort(pinned_.begin(), pinned_.end());
+        std::vector<Pfn> keep;
+        keep.reserve(pinned_.size());
+        const std::uint64_t run = std::uint64_t{1} << j;
+        std::size_t i = 0;
+        while (i < pinned_.size() &&
+               allocator_.unusableFreeSpaceIndex(j) > target_fu) {
+            // Find a full aligned run starting at pinned_[i].
+            if ((pinned_[i] & (run - 1)) == 0 &&
+                i + run <= pinned_.size() &&
+                pinned_[i + run - 1] == pinned_[i] + run - 1) {
+                for (std::uint64_t k = 0; k < run; ++k)
+                    allocator_.free(pinned_[i + k], 0);
+                i += run;
+            } else {
+                keep.push_back(pinned_[i]);
+                ++i;
+            }
+        }
+        keep.insert(keep.end(),
+                    pinned_.begin() + static_cast<long>(i),
+                    pinned_.end());
+        pinned_.swap(keep);
+    }
+    return allocator_.unusableFreeSpaceIndex(j);
+}
+
+void
+MemoryFragmenter::release()
+{
+    for (Pfn pfn : pinned_)
+        allocator_.free(pfn, 0);
+    pinned_.clear();
+}
+
+SystemAger::SystemAger(BuddyAllocator &allocator)
+    : allocator_(allocator)
+{
+}
+
+SystemAger::~SystemAger()
+{
+    release();
+}
+
+void
+SystemAger::age(std::uint64_t churn_ops, double resident_fraction,
+                Rng &rng)
+{
+    const auto target = static_cast<std::uint64_t>(
+        resident_fraction *
+        static_cast<double>(allocator_.totalFrames()));
+
+    // Phase 1: resident processes. Long-lived memory on a real
+    // machine is dominated by large allocations (page cache,
+    // mapped files, heaps grown in big steps), so most pinned
+    // blocks are high-order; a small tail of scattered singles
+    // models long-lived slab/kernel objects.
+    const unsigned max_order = allocator_.maxOrder();
+    while (residentFrames_ < target) {
+        unsigned order;
+        const double u = rng.uniform();
+        if (u < 0.55) {
+            order = max_order;
+        } else if (u < 0.78) {
+            order = max_order - 1;
+        } else if (u < 0.90) {
+            order = static_cast<unsigned>(
+                rng.range(5, max_order - 2));
+        } else {
+            order = static_cast<unsigned>(rng.range(0, 4));
+        }
+        auto base = allocator_.allocateRandom(order, rng);
+        if (!base)
+            base = allocator_.allocate(order);
+        if (!base)
+            break;
+        resident_.push_back({*base, order});
+        residentFrames_ += std::uint64_t{1} << order;
+    }
+
+    // Phase 2: light churn of short-lived small allocations that
+    // leaves a sprinkling of odd-sized free blocks behind.
+    std::vector<Block> transient;
+    for (std::uint64_t op = 0; op < churn_ops; ++op) {
+        if (transient.empty() || rng.chance(0.55)) {
+            const auto order = static_cast<unsigned>(
+                rng.range(0, 3));
+            if (auto base =
+                    allocator_.allocateRandom(order, rng)) {
+                transient.push_back({*base, order});
+            }
+        } else {
+            const std::size_t victim =
+                rng.below(transient.size());
+            const Block blk = transient[victim];
+            transient[victim] = transient.back();
+            transient.pop_back();
+            allocator_.free(blk.base, blk.order);
+        }
+    }
+    // Short-lived memory dies; a small residue stays pinned.
+    for (std::size_t i = 0; i < transient.size(); ++i) {
+        if (i % 16 == 0) {
+            resident_.push_back(transient[i]);
+            residentFrames_ += std::uint64_t{1}
+                               << transient[i].order;
+        } else {
+            allocator_.free(transient[i].base,
+                            transient[i].order);
+        }
+    }
+}
+
+void
+SystemAger::release()
+{
+    for (const auto &blk : resident_)
+        allocator_.free(blk.base, blk.order);
+    resident_.clear();
+    residentFrames_ = 0;
+}
+
+} // namespace sipt::os

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Physical-memory conditioning tools for the sensitivity studies.
+ *
+ * MemoryFragmenter reproduces the methodology of Kwon et al. (used
+ * by the SIPT paper, Section VII-B): it drives the buddy allocator
+ * into a state with a chosen *unusable free space index* Fu(j),
+ * pinning frames so later demand faults see only fragmented memory.
+ *
+ * SystemAger models a machine "with an uptime of weeks": a churn of
+ * allocations and frees of mixed sizes that leaves a realistic mix
+ * of free-block sizes and scattered block offsets without running
+ * out of memory.
+ */
+
+#ifndef SIPT_OS_FRAGMENTER_HH
+#define SIPT_OS_FRAGMENTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "os/buddy_allocator.hh"
+
+namespace sipt::os
+{
+
+/**
+ * Pins frames to push the allocator's Fu(j) above a target.
+ */
+class MemoryFragmenter
+{
+  public:
+    /** @param allocator the allocator to condition */
+    explicit MemoryFragmenter(BuddyAllocator &allocator);
+
+    ~MemoryFragmenter();
+
+    MemoryFragmenter(const MemoryFragmenter &) = delete;
+    MemoryFragmenter &operator=(const MemoryFragmenter &) = delete;
+
+    /**
+     * Fragment until Fu(@p j) >= @p target_fu while keeping at
+     * least @p min_free_fraction of memory free.
+     *
+     * Strategy (as in anti-fragmentation studies): allocate nearly
+     * all free memory as single pages, then release a scattered
+     * subset; the released pages have no free buddies, so free
+     * memory consists almost entirely of order-0 blocks.
+     *
+     * @return the achieved Fu(j)
+     */
+    double fragmentTo(double target_fu, unsigned j, Rng &rng,
+                      double min_free_fraction = 0.25);
+
+    /** Release every pinned frame. */
+    void release();
+
+    /** Number of frames currently pinned. */
+    std::uint64_t pinnedFrames() const { return pinned_.size(); }
+
+  private:
+    BuddyAllocator &allocator_;
+    std::vector<Pfn> pinned_;
+};
+
+/**
+ * Applies a random allocate/free churn to model weeks of uptime.
+ * Pinned residual allocations model other resident processes.
+ */
+class SystemAger
+{
+  public:
+    explicit SystemAger(BuddyAllocator &allocator);
+
+    ~SystemAger();
+
+    SystemAger(const SystemAger &) = delete;
+    SystemAger &operator=(const SystemAger &) = delete;
+
+    /**
+     * Run @p churn_ops random allocations (orders geometrically
+     * distributed, mostly small) interleaved with frees, converging
+     * to roughly @p resident_fraction of memory pinned.
+     */
+    void age(std::uint64_t churn_ops, double resident_fraction,
+             Rng &rng);
+
+    /** Release every residual allocation. */
+    void release();
+
+    std::uint64_t residentFrames() const { return residentFrames_; }
+
+  private:
+    struct Block
+    {
+        Pfn base;
+        unsigned order;
+    };
+
+    BuddyAllocator &allocator_;
+    std::vector<Block> resident_;
+    std::uint64_t residentFrames_ = 0;
+};
+
+} // namespace sipt::os
+
+#endif // SIPT_OS_FRAGMENTER_HH

@@ -1,0 +1,70 @@
+#include "predictor/combined.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::predictor
+{
+
+namespace
+{
+
+IdbParams
+withSpecBits(IdbParams params, std::uint32_t spec_bits)
+{
+    params.specBits = spec_bits;
+    return params;
+}
+
+} // namespace
+
+CombinedIndexPredictor::CombinedIndexPredictor(
+    std::uint32_t spec_bits,
+    const PerceptronParams &perceptron_params,
+    const IdbParams &idb_params)
+    : specBits_(spec_bits), perceptron_(perceptron_params),
+      idb_(withSpecBits(idb_params, spec_bits))
+{
+    if (spec_bits == 0 || spec_bits > 9)
+        fatal("CombinedIndexPredictor: specBits must be in 1..9");
+}
+
+IndexPrediction
+CombinedIndexPredictor::predict(Addr pc, Vpn vpn)
+{
+    IndexPrediction pred;
+    const auto va_bits =
+        static_cast<std::uint32_t>(vpn & mask(specBits_));
+    if (perceptron_.predictSpeculate(pc)) {
+        pred.bits = va_bits;
+        pred.source = IndexSource::VaBits;
+        return pred;
+    }
+    if (specBits_ == 1) {
+        // Reversed prediction: "will change" + one bit means the
+        // post-translation bit is the complement (paper, Sec. VI).
+        pred.bits = va_bits ^ 1u;
+        pred.source = IndexSource::Reversed;
+        return pred;
+    }
+    pred.bits = idb_.predictBits(pc, vpn);
+    pred.source = IndexSource::Idb;
+    return pred;
+}
+
+void
+CombinedIndexPredictor::update(Addr pc, Vpn vpn, Pfn pfn)
+{
+    const bool unchanged =
+        (vpn & mask(specBits_)) == (pfn & mask(specBits_));
+    perceptron_.train(pc, unchanged);
+    idb_.update(pc, vpn, pfn);
+}
+
+std::uint64_t
+CombinedIndexPredictor::storageBytes() const
+{
+    return perceptron_.storageBytes() + idb_.storageBytes();
+}
+
+} // namespace sipt::predictor

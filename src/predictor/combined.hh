@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The combined speculation-bypass + index-bit value predictor of
+ * SIPT Section VI-A.
+ *
+ * Stage 1 queries the perceptron. If it predicts "speculate", the
+ * unmodified VA index bits are used. If it predicts "bypass", the
+ * access is *still* issued speculatively: with one speculative bit
+ * the bypass prediction is simply inverted (flip the bit); with
+ * more bits the Index Delta Buffer supplies the predicted value.
+ * Either way the combined predictor always accesses the L1 before
+ * translation completes.
+ */
+
+#ifndef SIPT_PREDICTOR_COMBINED_HH
+#define SIPT_PREDICTOR_COMBINED_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "predictor/idb.hh"
+#include "predictor/perceptron.hh"
+
+namespace sipt::predictor
+{
+
+/** How the speculative index bits were produced. */
+enum class IndexSource : std::uint8_t
+{
+    /** Perceptron said speculate: raw VA bits. */
+    VaBits,
+    /** Perceptron said bypass; single bit flipped (reversed). */
+    Reversed,
+    /** Perceptron said bypass; IDB delta applied. */
+    Idb,
+};
+
+/** A combined prediction for one access. */
+struct IndexPrediction
+{
+    /** Predicted value of the speculative index bits. */
+    std::uint32_t bits = 0;
+    IndexSource source = IndexSource::VaBits;
+};
+
+/**
+ * Two-stage index-bit predictor (perceptron -> IDB / reversal).
+ */
+class CombinedIndexPredictor
+{
+  public:
+    /**
+     * @param spec_bits number of index bits above the page offset
+     * @param perceptron_params stage-1 configuration
+     * @param idb_params stage-2 configuration (specBits is
+     *        overridden with @p spec_bits)
+     */
+    CombinedIndexPredictor(
+        std::uint32_t spec_bits,
+        const PerceptronParams &perceptron_params =
+            PerceptronParams{},
+        const IdbParams &idb_params = IdbParams{});
+
+    /** Predict the speculative index bits for an access. */
+    IndexPrediction predict(Addr pc, Vpn vpn);
+
+    /**
+     * Resolve the access: train the perceptron with whether the VA
+     * bits were unchanged, and refresh the IDB delta.
+     */
+    void update(Addr pc, Vpn vpn, Pfn pfn);
+
+    std::uint32_t specBits() const { return specBits_; }
+
+    const PerceptronBypassPredictor &
+    perceptron() const
+    {
+        return perceptron_;
+    }
+
+    const IndexDeltaBuffer &idb() const { return idb_; }
+
+    /** Total predictor storage in bytes. */
+    std::uint64_t storageBytes() const;
+
+  private:
+    std::uint32_t specBits_;
+    PerceptronBypassPredictor perceptron_;
+    IndexDeltaBuffer idb_;
+};
+
+} // namespace sipt::predictor
+
+#endif // SIPT_PREDICTOR_COMBINED_HH

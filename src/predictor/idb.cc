@@ -1,0 +1,70 @@
+#include "predictor/idb.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::predictor
+{
+
+IndexDeltaBuffer::IndexDeltaBuffer(const IdbParams &params)
+    : params_(params), rng_(params.seed),
+      entries_(params.entries)
+{
+    if (!isPowerOfTwo(params.entries))
+        fatal("IDB: entries must be a power of two");
+    if (params.specBits == 0 || params.specBits > 9)
+        fatal("IDB: specBits must be in 1..9");
+}
+
+std::uint32_t
+IndexDeltaBuffer::indexOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc >> 2) &
+           (params_.entries - 1);
+}
+
+std::uint32_t
+IndexDeltaBuffer::maskBits(std::uint64_t v) const
+{
+    return static_cast<std::uint32_t>(v & mask(params_.specBits));
+}
+
+std::uint32_t
+IndexDeltaBuffer::predictBits(Addr pc, Vpn vpn)
+{
+    Entry &e = entries_[indexOf(pc)];
+    if (!e.valid) {
+        // Cold entry: predict "unchanged" (delta 0), the common
+        // case under contiguous mapping.
+        return maskBits(vpn);
+    }
+    std::uint32_t delta = e.delta;
+    if (params_.zeroContiguityMode && e.lastVpn != vpn) {
+        // Different page: under zero contiguity its delta is
+        // independent; mimic with a random value (paper, Sec. VII).
+        delta = maskBits(rng_());
+    }
+    return maskBits(vpn + delta);
+}
+
+void
+IndexDeltaBuffer::update(Addr pc, Vpn vpn, Pfn pfn)
+{
+    Entry &e = entries_[indexOf(pc)];
+    e.valid = true;
+    e.delta = maskBits(pfn - vpn);
+    e.lastVpn = vpn;
+}
+
+std::uint64_t
+IndexDeltaBuffer::storageBytes() const
+{
+    // valid bit + specBits of delta per entry (the lastVpn field
+    // exists only for the zero-contiguity emulation, not hardware).
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(params_.entries) *
+        (1 + params_.specBits);
+    return (bits + 7) / 8;
+}
+
+} // namespace sipt::predictor

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The Index Delta Buffer (IDB) of SIPT Section VI: a BTB-like,
+ * PC-indexed table that predicts the VA->PA *delta* of the
+ * speculative index bits.
+ *
+ * Because Linux's buddy allocator maps memory in contiguous blocks,
+ * the delta between virtual and physical page numbers is constant
+ * across each block (Fig. 10 of the paper), so a per-PC delta is an
+ * excellent predictor even when the delta itself is nonzero.
+ *
+ * The class also implements the paper's Fig. 18 "no >4KiB
+ * contiguity" emulation: each entry remembers the page of its last
+ * access, and when a *different* page is accessed in that mode the
+ * prediction is replaced by a random delta — mimicking a system in
+ * which every 4 KiB page has an independent delta.
+ */
+
+#ifndef SIPT_PREDICTOR_IDB_HH
+#define SIPT_PREDICTOR_IDB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace sipt::predictor
+{
+
+/** IDB configuration. */
+struct IdbParams
+{
+    /** Number of entries (PC-indexed, power of two); kept equal to
+     *  the perceptron table size in the paper. */
+    std::uint32_t entries = 64;
+    /** Number of speculative index bits to predict (1..9). */
+    std::uint32_t specBits = 2;
+    /**
+     * Emulate zero contiguity beyond 4 KiB pages: deltas are only
+     * reused within the same page; cross-page predictions are
+     * randomised (Fig. 18 "no >4KiB contiguity").
+     */
+    bool zeroContiguityMode = false;
+    /** RNG seed for the zero-contiguity emulation. */
+    std::uint64_t seed = 11;
+};
+
+/**
+ * PC-indexed delta predictor for the speculative index bits.
+ */
+class IndexDeltaBuffer
+{
+  public:
+    explicit IndexDeltaBuffer(const IdbParams &params = IdbParams{});
+
+    /**
+     * Predict the speculative index bits for an access.
+     *
+     * @param pc memory instruction PC
+     * @param vpn virtual page number of the access
+     * @return predicted value of the low specBits of the *physical*
+     *         frame number, i.e. (vpn + predicted delta) mod 2^k
+     */
+    std::uint32_t predictBits(Addr pc, Vpn vpn);
+
+    /**
+     * Update the entry with the resolved translation.
+     *
+     * @param pc memory instruction PC
+     * @param vpn virtual page number
+     * @param pfn physical frame number (4 KiB units)
+     */
+    void update(Addr pc, Vpn vpn, Pfn pfn);
+
+    /** Storage cost in bytes (valid bit + delta per entry). */
+    std::uint64_t storageBytes() const;
+
+    const IdbParams &params() const { return params_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint32_t delta = 0;
+        Vpn lastVpn = 0;
+    };
+
+    std::uint32_t indexOf(Addr pc) const;
+    std::uint32_t maskBits(std::uint64_t v) const;
+
+    IdbParams params_;
+    Rng rng_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace sipt::predictor
+
+#endif // SIPT_PREDICTOR_IDB_HH

@@ -1,0 +1,107 @@
+#include "predictor/perceptron.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::predictor
+{
+
+PerceptronBypassPredictor::PerceptronBypassPredictor(
+    const PerceptronParams &params)
+    : params_(params)
+{
+    if (!isPowerOfTwo(params.entries))
+        fatal("Perceptron: entries must be a power of two");
+    if (params.history == 0 || params.history > 64)
+        fatal("Perceptron: bad history length");
+    if (params.weightBits < 2 || params.weightBits > 15)
+        fatal("Perceptron: bad weight width");
+
+    threshold_ = params.threshold >= 0
+                     ? params.threshold
+                     : static_cast<int>(
+                           std::floor(1.93 * params.history + 14));
+    weightMax_ = static_cast<Weight>(
+        (1 << (params.weightBits - 1)) - 1);
+    weightMin_ = static_cast<Weight>(
+        -(1 << (params.weightBits - 1)));
+    weights_.assign(static_cast<std::size_t>(params.entries) *
+                        (params.history + 1),
+                    0);
+    // Bias toward speculating before any training: OS contiguity
+    // makes "unchanged" the common case, and a zero-weight
+    // perceptron outputs y = 0 which we already treat as speculate
+    // (y >= 0), so no explicit bias initialisation is needed.
+    historyReg_.assign(params.history, 1);
+}
+
+std::uint32_t
+PerceptronBypassPredictor::indexOf(Addr pc) const
+{
+    // Memory instructions are word-aligned-ish; drop low bits.
+    return static_cast<std::uint32_t>(pc >> 2) &
+           (params_.entries - 1);
+}
+
+int
+PerceptronBypassPredictor::output(Addr pc) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(indexOf(pc)) *
+        (params_.history + 1);
+    int y = weights_[base]; // bias w0
+    for (std::uint32_t i = 0; i < params_.history; ++i)
+        y += weights_[base + 1 + i] * historyReg_[i];
+    return y;
+}
+
+bool
+PerceptronBypassPredictor::predictSpeculate(Addr pc)
+{
+    ++predictions_;
+    return output(pc) >= 0;
+}
+
+void
+PerceptronBypassPredictor::train(Addr pc, bool unchanged)
+{
+    const int y = output(pc);
+    const int t = unchanged ? 1 : -1;
+    const bool mispredicted = (y >= 0) != unchanged;
+
+    if (mispredicted || std::abs(y) <= threshold_) {
+        const std::size_t base =
+            static_cast<std::size_t>(indexOf(pc)) *
+            (params_.history + 1);
+        auto adjust = [&](Weight &w, int delta) {
+            const int next = w + delta;
+            if (next > weightMax_)
+                w = weightMax_;
+            else if (next < weightMin_)
+                w = weightMin_;
+            else
+                w = static_cast<Weight>(next);
+        };
+        adjust(weights_[base], t);
+        for (std::uint32_t i = 0; i < params_.history; ++i)
+            adjust(weights_[base + 1 + i], t * historyReg_[i]);
+    }
+
+    // Shift the outcome into the global history (newest first).
+    for (std::uint32_t i = params_.history - 1; i > 0; --i)
+        historyReg_[i] = historyReg_[i - 1];
+    historyReg_[0] = static_cast<std::int8_t>(t);
+}
+
+std::uint64_t
+PerceptronBypassPredictor::storageBytes() const
+{
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(params_.entries) *
+        (params_.history + 1) * params_.weightBits;
+    return bits / 8;
+}
+
+} // namespace sipt::predictor

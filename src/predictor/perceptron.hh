@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The speculation-bypass predictor of SIPT Section V: a PC-indexed
+ * table of perceptrons over a global history of speculation
+ * outcomes, following the smallest global-history configuration of
+ * Jimenez & Lin (HPCA '01).
+ *
+ * The predicted "branch" is: *will the speculative index bits
+ * survive address translation unchanged?* A positive output means
+ * speculate (fast access attempt); a negative output means bypass
+ * speculation and wait for the TLB.
+ *
+ * Storage matches the paper's estimate: 64 perceptrons x 13 weights
+ * x 6 bits = 624 B.
+ */
+
+#ifndef SIPT_PREDICTOR_PERCEPTRON_HH
+#define SIPT_PREDICTOR_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sipt::predictor
+{
+
+/** Perceptron table configuration. */
+struct PerceptronParams
+{
+    /** Number of perceptrons (PC-indexed, power of two). */
+    std::uint32_t entries = 64;
+    /** Global history length h (weights per entry = h + 1). */
+    std::uint32_t history = 12;
+    /** Weight width in bits (6 -> clamp to [-32, 31]). */
+    std::uint32_t weightBits = 6;
+    /**
+     * Training threshold theta. Jimenez & Lin's best value is
+     * floor(1.93 h + 14); <0 selects that formula.
+     */
+    int threshold = -1;
+};
+
+/**
+ * Global-history perceptron predictor for the speculate/bypass
+ * decision.
+ *
+ * Usage protocol: call predictSpeculate(), resolve the access, then
+ * call train() with the actual outcome *before* the next
+ * prediction, so training sees the history the prediction used.
+ */
+class PerceptronBypassPredictor
+{
+  public:
+    explicit PerceptronBypassPredictor(
+        const PerceptronParams &params = PerceptronParams{});
+
+    /**
+     * @param pc the memory instruction's program counter
+     * @return true to speculate (predict index bits unchanged)
+     */
+    bool predictSpeculate(Addr pc);
+
+    /**
+     * Train with the resolved outcome for @p pc.
+     * @param unchanged true when the speculative bits were in fact
+     *        unchanged by translation
+     */
+    void train(Addr pc, bool unchanged);
+
+    /** Storage cost in bytes (for the overhead claims). */
+    std::uint64_t storageBytes() const;
+
+    const PerceptronParams &params() const { return params_; }
+
+    std::uint64_t predictions() const { return predictions_; }
+
+  private:
+    using Weight = std::int16_t;
+
+    std::uint32_t indexOf(Addr pc) const;
+    int output(Addr pc) const;
+
+    PerceptronParams params_;
+    int threshold_;
+    Weight weightMax_;
+    Weight weightMin_;
+    /** weights[entry * (h+1) + i]; i = 0 is the bias. */
+    std::vector<Weight> weights_;
+    /** Global outcome history as +/-1 values, newest at [0]. */
+    std::vector<std::int8_t> historyReg_;
+    std::uint64_t predictions_ = 0;
+};
+
+} // namespace sipt::predictor
+
+#endif // SIPT_PREDICTOR_PERCEPTRON_HH

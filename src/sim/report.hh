@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable result export: flattens RunResult records into
+ * CSV so experiment sweeps can be post-processed (plotted against
+ * the paper's figures) without scraping the bench tables.
+ */
+
+#ifndef SIPT_SIM_REPORT_HH
+#define SIPT_SIM_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace sipt::sim
+{
+
+/** One labelled result row (configuration + metrics). */
+struct ResultRow
+{
+    std::string experiment;
+    std::string config;
+    RunResult result;
+};
+
+/** Write the CSV header for RunResult rows. */
+void writeCsvHeader(std::ostream &os);
+
+/** Write one row. Fields are comma-separated; labels must not
+ *  contain commas (enforced fatally). */
+void writeCsvRow(std::ostream &os, const ResultRow &row);
+
+/** Header + all rows. */
+void writeCsv(std::ostream &os,
+              const std::vector<ResultRow> &rows);
+
+} // namespace sipt::sim
+
+#endif // SIPT_SIM_REPORT_HH

@@ -1,0 +1,338 @@
+#include "sim/system.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+#include "dram/dram.hh"
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "os/fragmenter.hh"
+#include "workload/profile.hh"
+#include "workload/synthetic.hh"
+
+namespace sipt::sim
+{
+
+namespace
+{
+
+/** Allocator churn applied for the "weeks of uptime" baseline. */
+constexpr std::uint64_t agingChurnOps = 20'000;
+constexpr double agingResidentFraction = 0.22;
+
+/** Glue: MMU + L1 behind the core's memory port. */
+class SystemPort : public cpu::MemPort
+{
+  public:
+    SystemPort(vm::Mmu &mmu, const vm::PageTable &page_table,
+               SiptL1Cache &l1)
+        : mmu_(mmu), pageTable_(page_table), l1_(l1)
+    {
+    }
+
+    Cycles
+    access(const MemRef &ref, Cycles now, bool &miss_out) override
+    {
+        const vm::MmuResult xlat =
+            mmu_.translate(ref.vaddr, pageTable_, now);
+        const L1AccessResult res = l1_.access(ref, xlat, now);
+        miss_out = !res.hit;
+        return res.latency;
+    }
+
+  private:
+    vm::Mmu &mmu_;
+    const vm::PageTable &pageTable_;
+    SiptL1Cache &l1_;
+};
+
+/** PTE reads of the radix walker go through the hierarchy. */
+class WalkThroughCaches : public vm::WalkPort
+{
+  public:
+    explicit WalkThroughCaches(cache::BelowL1 &below)
+        : below_(below)
+    {
+    }
+
+    Cycles
+    walkRead(Addr paddr, Cycles now) override
+    {
+        return below_.fill(paddr, now);
+    }
+
+  private:
+    cache::BelowL1 &below_;
+};
+
+/** Everything one core owns. */
+struct CoreInstance
+{
+    std::unique_ptr<os::AddressSpace> as;
+    std::unique_ptr<workload::SyntheticWorkload> workload;
+    std::unique_ptr<vm::Mmu> mmu;
+    std::unique_ptr<cache::BelowL1> below;
+    std::unique_ptr<SiptL1Cache> l1;
+    std::unique_ptr<cpu::TraceCore> core;
+    std::unique_ptr<SystemPort> port;
+    std::unique_ptr<WalkThroughCaches> walkPort;
+    std::unique_ptr<vm::PageWalker> walker;
+    cpu::CoreResult measured;
+};
+
+os::PagingPolicy
+policyFor(const SystemConfig &config, double thp_affinity)
+{
+    os::PagingPolicy pol;
+    switch (config.condition) {
+      case MemCondition::Normal:
+      case MemCondition::Fragmented:
+        pol.thpEnabled = true;
+        pol.thpChance = thp_affinity;
+        break;
+      case MemCondition::ThpOff:
+        pol.thpEnabled = false;
+        break;
+      case MemCondition::NoContiguity:
+        pol.thpEnabled = false;
+        pol.randomPlacement = true;
+        break;
+    }
+    return pol;
+}
+
+CoreInstance
+buildCore(const SystemConfig &config, const std::string &app,
+          os::BuddyAllocator &buddy, cache::TimingCache &llc,
+          dram::Dram &dram, std::uint64_t seed)
+{
+    CoreInstance inst;
+    workload::AppProfile profile = workload::appProfile(app);
+    profile.footprintBytes = static_cast<std::uint64_t>(
+        static_cast<double>(profile.footprintBytes) *
+        config.footprintScale);
+
+    inst.as = std::make_unique<os::AddressSpace>(
+        buddy, policyFor(config, profile.thpAffinity), seed + 1);
+    inst.workload = std::make_unique<workload::SyntheticWorkload>(
+        profile, *inst.as, seed + 2);
+    inst.mmu = std::make_unique<vm::Mmu>(mmuPreset());
+
+    const cache::TimingCacheParams l2 = l2Preset();
+    inst.below = std::make_unique<cache::BelowL1>(
+        config.outOfOrder ? &l2 : nullptr, llc, dram);
+    inst.l1 = std::make_unique<SiptL1Cache>(
+        l1Preset(config.l1Config, config.policy,
+                 config.wayPrediction),
+        *inst.below);
+    inst.core = std::make_unique<cpu::TraceCore>([&] {
+        cpu::CoreParams p = config.outOfOrder
+                                ? cpu::outOfOrderCoreParams()
+                                : cpu::inOrderCoreParams();
+        p.seed = seed + 3;
+        return p;
+    }());
+    inst.port = std::make_unique<SystemPort>(
+        *inst.mmu, inst.as->pageTable(), *inst.l1);
+    if (config.radixWalker) {
+        inst.walkPort =
+            std::make_unique<WalkThroughCaches>(*inst.below);
+        inst.walker = std::make_unique<vm::PageWalker>(
+            vm::WalkerParams{}, *inst.walkPort);
+        inst.mmu->setWalker(inst.walker.get());
+    }
+    return inst;
+}
+
+void
+resetCoreStats(CoreInstance &inst)
+{
+    inst.l1->resetStats();
+    inst.below->resetStats();
+    inst.mmu->resetStats();
+}
+
+RunResult
+collect(const std::string &app, const SystemConfig &config,
+        const CoreInstance &inst, double llc_dyn_share,
+        double llc_static_share_mw, double seconds)
+{
+    RunResult r;
+    r.app = app;
+    r.cycles = inst.measured.cycles;
+    r.instructions = inst.measured.instructions;
+    r.ipc = inst.measured.ipc();
+    r.l1 = inst.l1->stats();
+    r.l1HitRate = inst.l1->hitRate();
+    r.fastFraction = inst.l1->fastFraction();
+    r.hugeCoverage = inst.as->hugeCoverage();
+    r.energy = energy::computeEnergy(
+        *inst.l1, *inst.below, llc_dyn_share,
+        llc_static_share_mw, seconds);
+    if (const auto *wp = inst.l1->wayPredictor())
+        r.wayPredAccuracy = wp->accuracy();
+    const auto &small = inst.mmu->l1Small();
+    const auto &huge = inst.mmu->l1Huge();
+    const std::uint64_t tlb_lookups = small.hits() +
+                                      small.misses() +
+                                      huge.hits() + huge.misses();
+    r.dtlbHitRate =
+        tlb_lookups ? static_cast<double>(small.hits() +
+                                          huge.hits()) /
+                          static_cast<double>(tlb_lookups)
+                    : 0.0;
+    r.pageWalks = inst.mmu->walks();
+    r.l1Mpki = r.instructions
+                   ? 1000.0 *
+                         static_cast<double>(r.l1.misses) /
+                         static_cast<double>(r.instructions)
+                   : 0.0;
+    (void)config;
+    return r;
+}
+
+} // namespace
+
+const char *
+conditionName(MemCondition condition)
+{
+    switch (condition) {
+      case MemCondition::Normal:
+        return "Normal";
+      case MemCondition::Fragmented:
+        return "Fragmented";
+      case MemCondition::ThpOff:
+        return "THP-off";
+      case MemCondition::NoContiguity:
+        return "No->4KiB-contig";
+    }
+    return "?";
+}
+
+std::uint64_t
+defaultMeasureRefs()
+{
+    if (const char *env = std::getenv("SIPT_REFS")) {
+        const std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 400'000;
+}
+
+RunResult
+runSingleCore(const std::string &app, const SystemConfig &config)
+{
+    os::BuddyAllocator buddy(config.physMemBytes / pageSize);
+    Rng sys_rng(config.seed);
+
+    // Condition physical memory before the application starts.
+    os::SystemAger ager(buddy);
+    os::MemoryFragmenter fragmenter(buddy);
+    ager.age(agingChurnOps, agingResidentFraction, sys_rng);
+    if (config.condition == MemCondition::Fragmented)
+        fragmenter.fragmentTo(0.95, 9, sys_rng, 0.30);
+
+    dram::Dram dram;
+    cache::TimingCache llc(llcPreset(config.outOfOrder, 1));
+
+    CoreInstance inst = buildCore(config, app, buddy, llc, dram,
+                                  config.seed + 10);
+
+    inst.core->run(*inst.workload, *inst.port, config.warmupRefs);
+    resetCoreStats(inst);
+    llc.resetStats();
+    dram.resetStats();
+
+    inst.measured = inst.core->run(*inst.workload, *inst.port,
+                                   config.measureRefs);
+
+    const double seconds = inst.measured.seconds(3.0);
+    return collect(app, config, inst, llc.dynamicEnergyNj(),
+                   llc.params().staticPowerMw, seconds);
+}
+
+MulticoreResult
+runMulticore(const std::vector<std::string> &mix,
+             const SystemConfig &config)
+{
+    if (mix.empty())
+        fatal("runMulticore: empty mix");
+    const auto cores = static_cast<std::uint32_t>(mix.size());
+
+    os::BuddyAllocator buddy(config.physMemBytes / pageSize);
+    Rng sys_rng(config.seed);
+    os::SystemAger ager(buddy);
+    os::MemoryFragmenter fragmenter(buddy);
+    ager.age(agingChurnOps, agingResidentFraction, sys_rng);
+    if (config.condition == MemCondition::Fragmented)
+        fragmenter.fragmentTo(0.95, 9, sys_rng, 0.30);
+
+    dram::Dram dram;
+    cache::TimingCache llc(llcPreset(config.outOfOrder, cores));
+
+    std::vector<CoreInstance> insts;
+    insts.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        insts.push_back(buildCore(config, mix[c], buddy, llc,
+                                  dram,
+                                  config.seed + 100 * (c + 1)));
+    }
+
+    // Interleave cores in slices so LLC/DRAM contention mixes.
+    constexpr std::uint64_t slice = 5'000;
+    auto run_phase = [&](std::uint64_t refs_per_core) {
+        std::vector<std::uint64_t> done(cores, 0);
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (std::uint32_t c = 0; c < cores; ++c) {
+                if (done[c] >= refs_per_core)
+                    continue;
+                const std::uint64_t n = std::min(
+                    slice, refs_per_core - done[c]);
+                const auto res = insts[c].core->run(
+                    *insts[c].workload, *insts[c].port, n);
+                insts[c].measured.cycles += res.cycles;
+                insts[c].measured.instructions +=
+                    res.instructions;
+                insts[c].measured.memRefs += res.memRefs;
+                done[c] += n;
+                progress = true;
+            }
+        }
+    };
+
+    run_phase(config.warmupRefs);
+    for (auto &inst : insts) {
+        resetCoreStats(inst);
+        inst.measured = cpu::CoreResult{};
+    }
+    llc.resetStats();
+    dram.resetStats();
+    run_phase(config.measureRefs);
+
+    MulticoreResult result;
+    double max_seconds = 0.0;
+    for (const auto &inst : insts) {
+        max_seconds =
+            std::max(max_seconds, inst.measured.seconds(3.0));
+    }
+    // LLC dynamic energy is shared; attribute it wholly to the
+    // run (core share = 0 except the first, which carries it).
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        const double llc_dyn =
+            c == 0 ? llc.dynamicEnergyNj() : 0.0;
+        const double llc_static =
+            c == 0 ? llc.params().staticPowerMw : 0.0;
+        RunResult r = collect(mix[c], config, insts[c], llc_dyn,
+                              llc_static, max_seconds);
+        result.sumIpc += r.ipc;
+        result.energy += r.energy;
+        result.perCore.push_back(std::move(r));
+    }
+    return result;
+}
+
+} // namespace sipt::sim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Full-system assembly and experiment drivers.
+ *
+ * runSingleCore() builds one complete simulated machine — physical
+ * memory with a conditioned buddy allocator, an address space under
+ * the requested paging policy, TLBs, the L1 under a chosen indexing
+ * policy, the lower hierarchy, DRAM, and a core model — runs one
+ * named application on it, and returns the metrics every figure of
+ * the paper is built from.
+ *
+ * runMulticore() instantiates four such cores over a shared LLC,
+ * DRAM, and physical allocator (Tab. III mixes, Fig. 15).
+ */
+
+#ifndef SIPT_SIM_SYSTEM_HH
+#define SIPT_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "energy/accounting.hh"
+#include "sim/presets.hh"
+#include "sipt/l1_cache.hh"
+#include "vm/mmu.hh"
+
+namespace sipt::sim
+{
+
+/** Physical-memory operating condition (Sec. VII-B / Fig. 18). */
+enum class MemCondition : std::uint8_t
+{
+    Normal,       ///< aged machine, weeks of uptime
+    Fragmented,   ///< unusable-free-space index Fu(9) > 0.95
+    ThpOff,       ///< transparent huge pages disabled
+    NoContiguity, ///< every 4 KiB page placed at random
+};
+
+/** Printable condition name. */
+const char *conditionName(MemCondition condition);
+
+/** One experiment's system description. */
+struct SystemConfig
+{
+    /** Core + hierarchy depth: true = OOO/3-level (Tab. II left),
+     *  false = in-order/2-level. */
+    bool outOfOrder = true;
+    L1Config l1Config = L1Config::Baseline32K8;
+    IndexingPolicy policy = IndexingPolicy::Vipt;
+    bool wayPrediction = false;
+    /**
+     * Model page walks as dependent PTE reads through the cache
+     * hierarchy (radix walker + page-walk caches) instead of the
+     * default constant walk latency.
+     */
+    bool radixWalker = false;
+    MemCondition condition = MemCondition::Normal;
+    /** Simulated physical memory (scaled from the paper's 16 GiB
+     *  to keep sweeps fast; page-granular behaviour unchanged). */
+    std::uint64_t physMemBytes = 4ull << 30;
+    /** References to run before statistics reset. */
+    std::uint64_t warmupRefs = 150'000;
+    /** References measured. */
+    std::uint64_t measureRefs = 400'000;
+    std::uint64_t seed = 42;
+    /** Scale factor applied to application footprints (used by
+     *  the multicore driver to co-fit four apps). */
+    double footprintScale = 1.0;
+};
+
+/** Metrics from one application run. */
+struct RunResult
+{
+    std::string app;
+    double ipc = 0.0;
+    double cycles = 0.0;
+    InstCount instructions = 0;
+    L1Stats l1;
+    double l1HitRate = 0.0;
+    /** Fraction of accesses completing without waiting for the
+     *  TLB (the paper's "fast accesses"). */
+    double fastFraction = 0.0;
+    energy::EnergyBreakdown energy;
+    /** Fraction of the app's memory that is THP-backed. */
+    double hugeCoverage = 0.0;
+    /** MRU way-prediction accuracy (0 when disabled). */
+    double wayPredAccuracy = 0.0;
+    double dtlbHitRate = 0.0;
+    std::uint64_t pageWalks = 0;
+    /** L1 misses per kilo-instruction. */
+    double l1Mpki = 0.0;
+};
+
+/**
+ * Default measured references per run; reads the SIPT_REFS
+ * environment variable so CI can shrink experiments.
+ */
+std::uint64_t defaultMeasureRefs();
+
+/** Run one application on one system. */
+RunResult runSingleCore(const std::string &app,
+                        const SystemConfig &config);
+
+/** Result of a quad-core multiprogrammed run. */
+struct MulticoreResult
+{
+    std::vector<RunResult> perCore;
+    /** Sum of per-core IPCs (the paper's throughput metric). */
+    double sumIpc = 0.0;
+    /** Total cache-hierarchy energy across all cores + LLC. */
+    energy::EnergyBreakdown energy;
+};
+
+/**
+ * Run a multiprogrammed mix, one application per core, over a
+ * shared LLC/DRAM/physical memory. Cores advance in small
+ * time-slices so shared-resource contention is interleaved.
+ */
+MulticoreResult runMulticore(const std::vector<std::string> &mix,
+                             const SystemConfig &config);
+
+} // namespace sipt::sim
+
+#endif // SIPT_SIM_SYSTEM_HH

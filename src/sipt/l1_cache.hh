@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The SIPT L1 data cache controller — the paper's core
+ * contribution.
+ *
+ * The controller implements five indexing policies over the same
+ * physical tag array:
+ *
+ *  - Vipt: the baseline. All index bits must come from the page
+ *    offset, so the geometry must satisfy way-size <= page-size;
+ *    translation overlaps array access and every hit is "fast".
+ *  - Ideal: an oracle that always knows the physical index bits
+ *    early (the "ideal cache" the paper normalises against).
+ *  - SiptNaive (Sec. IV): always access speculatively with the raw
+ *    VA index bits; on an index mismatch replay with the physical
+ *    index (slow access + extra array access).
+ *  - SiptBypass (Sec. V): a perceptron predicts whether the VA bits
+ *    will survive translation; predicted-to-change accesses wait
+ *    for the TLB (slow, but no wasted array access).
+ *  - SiptCombined (Sec. VI): when the perceptron predicts a change,
+ *    the IDB (or single-bit reversal) predicts the changed value so
+ *    the access can still go fast.
+ *
+ * Correctness never depends on prediction: lines live under their
+ * physical set and full physical line-address tags are compared on
+ * every lookup, so a wrong speculative index can only cause a miss
+ * and a replay, never a wrong-data hit. This is what lets SIPT keep
+ * VIPT's simple synonym/coherence story (synonyms may be cached;
+ * lookups always check full tags).
+ */
+
+#ifndef SIPT_SIPT_L1_CACHE_HH
+#define SIPT_SIPT_L1_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/cache_array.hh"
+#include "cache/hierarchy.hh"
+#include "cache/way_predictor.hh"
+#include "common/types.hh"
+#include "predictor/combined.hh"
+#include "predictor/perceptron.hh"
+#include "vm/mmu.hh"
+
+namespace sipt
+{
+
+/** L1 index-generation policy. */
+enum class IndexingPolicy : std::uint8_t
+{
+    Vipt,
+    Ideal,
+    SiptNaive,
+    SiptBypass,
+    SiptCombined,
+};
+
+/** Printable name of a policy. */
+const char *policyName(IndexingPolicy policy);
+
+/** L1 configuration (geometry + policy + energy). */
+struct L1Params
+{
+    std::string name = "L1D";
+    cache::CacheGeometry geometry{32 * 1024, 8, 64,
+                                  cache::ReplPolicy::Lru};
+    /** Array access latency in cycles (Tab. II). */
+    Cycles hitLatency = 4;
+    IndexingPolicy policy = IndexingPolicy::Vipt;
+    /** MRU way prediction on top of the indexing policy. */
+    bool wayPrediction = false;
+    /** Dynamic energy per full-way-parallel access, nJ (Tab. II).*/
+    double accessEnergyNj = 0.38;
+    /** Static power in mW (Tab. II). */
+    double staticPowerMw = 46.0;
+    /** Stage-1 predictor configuration (Bypass/Combined). */
+    predictor::PerceptronParams perceptron{};
+    /** Stage-2 predictor configuration (Combined). */
+    predictor::IdbParams idb{};
+};
+
+/**
+ * Taxonomy of one access's speculation outcome (Figs. 5, 9, 12).
+ */
+struct SpeculationStats
+{
+    /** Speculated with VA bits and they were unchanged. */
+    std::uint64_t correctSpeculation = 0;
+    /** Bypassed and the bits would indeed have changed. */
+    std::uint64_t correctBypass = 0;
+    /** Bypassed although the bits were unchanged (lost fast). */
+    std::uint64_t opportunityLoss = 0;
+    /** Speculated (any source) but the index was wrong: replay. */
+    std::uint64_t extraAccess = 0;
+    /** Bypass-predicted accesses saved by the IDB / reversal. */
+    std::uint64_t idbHit = 0;
+};
+
+/** Aggregate L1 statistics. */
+struct L1Stats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    /** Accesses whose data was available at hitLatency. */
+    std::uint64_t fastAccesses = 0;
+    /** Accesses that had to wait for translation. */
+    std::uint64_t slowAccesses = 0;
+    /** Wasted array accesses caused by misspeculation. */
+    std::uint64_t extraArrayAccesses = 0;
+    /** Total array access attempts (for energy). */
+    std::uint64_t arrayAccesses = 0;
+    /**
+     * Energy-weighted array accesses: way prediction scales a
+     * predicted-way access to 1/assoc of a full access.
+     */
+    double weightedArrayAccesses = 0.0;
+    SpeculationStats spec;
+};
+
+/** Per-access result returned to the core model. */
+struct L1AccessResult
+{
+    /** Load-to-use latency in cycles, including below-L1 time. */
+    Cycles latency = 0;
+    bool hit = false;
+    /** True when the access completed without waiting for the
+     *  TLB (a "fast access" in the paper's terms). */
+    bool fast = false;
+};
+
+/**
+ * The L1 data cache with speculative indexing.
+ */
+class SiptL1Cache
+{
+  public:
+    /**
+     * @param params cache configuration
+     * @param below the rest of the hierarchy (L2/LLC/DRAM view)
+     */
+    SiptL1Cache(const L1Params &params, cache::BelowL1 &below);
+
+    /**
+     * Execute one memory reference.
+     *
+     * @param ref the trace record (PC, VA, load/store)
+     * @param xlat the MMU result for ref.vaddr (the caller performs
+     *        translation concurrently; xlat.latency is when the PA
+     *        becomes available)
+     * @param now current core cycle
+     */
+    L1AccessResult access(const MemRef &ref,
+                          const vm::MmuResult &xlat, Cycles now);
+
+    const L1Params &params() const { return params_; }
+    const L1Stats &stats() const { return stats_; }
+    const cache::CacheArray &array() const { return array_; }
+
+    /** Way predictor, or nullptr when disabled. */
+    const cache::WayPredictor *
+    wayPredictor() const
+    {
+        return wayPredictor_.get();
+    }
+
+    /** Number of speculative index bits this geometry needs. */
+    unsigned specBits() const { return specBits_; }
+
+    /** Dynamic energy consumed by the L1 arrays so far (nJ),
+     *  including predictor overhead (<2% per the paper). */
+    double dynamicEnergyNj() const;
+
+    /** L1 hit rate. */
+    double hitRate() const;
+
+    /** Fraction of accesses that were fast. */
+    double fastFraction() const;
+
+    /** Zero all counters; cache contents and trained predictor
+     *  state are kept (end-of-warmup semantics). */
+    void resetStats();
+
+  private:
+    /** Index bits above the page offset of a *physical* address. */
+    std::uint32_t physSpecBits(Addr paddr) const;
+    /** Set number from a physical address. */
+    std::uint32_t physSet(Addr paddr) const;
+    /** Set obtained by substituting @p spec_bits into the
+     *  speculative positions of the VA-derived set. */
+    std::uint32_t specSet(Addr vaddr, std::uint32_t spec_bits) const;
+
+    /** Account one array access attempt; @p resident_way is the
+     *  way the line was found in, or -1. @return way-mispredict
+     *  latency penalty. */
+    Cycles chargeArrayAccess(std::uint32_t set, int resident_way);
+
+    /** Handle hit/miss once the correct physical set is known. */
+    L1AccessResult finishAccess(const MemRef &ref, Addr paddr,
+                                Cycles now, Cycles ready,
+                                bool fast);
+
+    L1Params params_;
+    cache::BelowL1 &below_;
+    cache::CacheArray array_;
+    unsigned specBits_;
+    std::unique_ptr<cache::WayPredictor> wayPredictor_;
+    /** Stage-1-only predictor for the Bypass policy. */
+    std::unique_ptr<predictor::PerceptronBypassPredictor> bypass_;
+    /** Two-stage predictor for the Combined policy. */
+    std::unique_ptr<predictor::CombinedIndexPredictor> combined_;
+    L1Stats stats_;
+};
+
+} // namespace sipt
+
+#endif // SIPT_SIPT_L1_CACHE_HH

@@ -1,0 +1,62 @@
+#include "vm/mmu.hh"
+
+#include "common/logging.hh"
+
+namespace sipt::vm
+{
+
+Mmu::Mmu(const MmuParams &params)
+    : params_(params), l1Small_(params.l1Small),
+      l1Huge_(params.l1Huge), l2_(params.l2)
+{
+}
+
+MmuResult
+Mmu::translate(Addr vaddr, const PageTable &page_table,
+               Cycles now)
+{
+    const auto xlat = page_table.translate(vaddr);
+    if (!xlat)
+        panic("MMU translate of unmapped va ", vaddr);
+
+    MmuResult res;
+    res.paddr = xlat->paddr;
+    res.hugePage = xlat->hugePage;
+
+    const Vpn vpn = xlat->hugePage ? (vaddr >> hugePageShift)
+                                   : (vaddr >> pageShift);
+    Tlb &l1 = xlat->hugePage ? l1Huge_ : l1Small_;
+
+    if (l1.lookup(vpn, xlat->hugePage)) {
+        res.latency = params_.l1Latency;
+        res.l1Hit = true;
+        return res;
+    }
+
+    if (l2_.lookup(vpn, xlat->hugePage)) {
+        res.latency = params_.l2Latency;
+        l1.insert(vpn, xlat->hugePage);
+        return res;
+    }
+
+    ++walks_;
+    const Cycles walk_latency =
+        walker_ ? walker_->walk(vaddr,
+                                now + params_.l2Latency,
+                                xlat->hugePage)
+                : params_.walkLatency;
+    res.latency = params_.l2Latency + walk_latency;
+    l2_.insert(vpn, xlat->hugePage);
+    l1.insert(vpn, xlat->hugePage);
+    return res;
+}
+
+void
+Mmu::flushAll()
+{
+    l1Small_.flush();
+    l1Huge_.flush();
+    l2_.flush();
+}
+
+} // namespace sipt::vm

@@ -1,0 +1,99 @@
+#include "vm/page_table.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::vm
+{
+
+void
+PageTable::mapPage(Addr vaddr, Pfn pfn)
+{
+    const Vpn vpn = vaddr >> pageShift;
+    const Vpn chunk = vaddr >> hugePageShift;
+    SIPT_ASSERT(huge_.find(chunk) == huge_.end(),
+                "4K map inside huge mapping, va=", vaddr);
+    const bool inserted = small_.emplace(vpn, pfn).second;
+    SIPT_ASSERT(inserted, "re-map of mapped page, va=", vaddr);
+    ++smallPerChunk_[chunk];
+}
+
+void
+PageTable::mapHugePage(Addr vaddr, Pfn base_pfn)
+{
+    const Vpn chunk = vaddr >> hugePageShift;
+    SIPT_ASSERT((base_pfn & mask(hugePageShift - pageShift)) == 0,
+                "huge frame not aligned, pfn=", base_pfn);
+    SIPT_ASSERT(!chunkHasSmallMappings(vaddr),
+                "huge map over 4K mappings, va=", vaddr);
+    const bool inserted = huge_.emplace(chunk, base_pfn).second;
+    SIPT_ASSERT(inserted, "re-map of huge page, va=", vaddr);
+}
+
+void
+PageTable::unmapPage(Addr vaddr)
+{
+    const Vpn vpn = vaddr >> pageShift;
+    if (small_.erase(vpn) > 0) {
+        const Vpn chunk = vaddr >> hugePageShift;
+        auto it = smallPerChunk_.find(chunk);
+        SIPT_ASSERT(it != smallPerChunk_.end() && it->second > 0,
+                    "chunk count underflow");
+        if (--it->second == 0)
+            smallPerChunk_.erase(it);
+    }
+}
+
+void
+PageTable::unmapHugePage(Addr vaddr)
+{
+    huge_.erase(vaddr >> hugePageShift);
+}
+
+std::optional<Translation>
+PageTable::translate(Addr vaddr) const
+{
+    const auto hit = huge_.find(vaddr >> hugePageShift);
+    if (hit != huge_.end()) {
+        return Translation{
+            (hit->second << pageShift) |
+                (vaddr & mask(hugePageShift)),
+            true};
+    }
+    const auto sit = small_.find(vaddr >> pageShift);
+    if (sit != small_.end()) {
+        return Translation{
+            (sit->second << pageShift) | (vaddr & mask(pageShift)),
+            false};
+    }
+    return std::nullopt;
+}
+
+bool
+PageTable::isMapped(Addr vaddr) const
+{
+    return huge_.count(vaddr >> hugePageShift) > 0 ||
+           small_.count(vaddr >> pageShift) > 0;
+}
+
+bool
+PageTable::isHugeMapped(Addr vaddr) const
+{
+    return huge_.count(vaddr >> hugePageShift) > 0;
+}
+
+bool
+PageTable::chunkHasSmallMappings(Addr vaddr) const
+{
+    return smallPerChunk_.count(vaddr >> hugePageShift) > 0;
+}
+
+void
+PageTable::clear()
+{
+    small_.clear();
+    huge_.clear();
+    smallPerChunk_.clear();
+}
+
+} // namespace sipt::vm

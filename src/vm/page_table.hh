@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A per-process page table mapping virtual pages to physical frames
+ * at 4 KiB and 2 MiB granularity.
+ *
+ * The table is the authoritative VA->PA mapping; the TLB caches its
+ * entries and the MMU walks it on TLB misses.
+ */
+
+#ifndef SIPT_VM_PAGE_TABLE_HH
+#define SIPT_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace sipt::vm
+{
+
+/** Result of a successful translation. */
+struct Translation
+{
+    /** Full physical byte address. */
+    Addr paddr = 0;
+    /** True when the mapping is a 2 MiB transparent huge page. */
+    bool hugePage = false;
+};
+
+/**
+ * Two-level (by page size) hash-backed page table.
+ */
+class PageTable
+{
+  public:
+    /**
+     * Map the 4 KiB virtual page containing @p vaddr to frame
+     * @p pfn. The page must not already be mapped (at either size).
+     */
+    void mapPage(Addr vaddr, Pfn pfn);
+
+    /**
+     * Map the 2 MiB virtual chunk containing @p vaddr to the huge
+     * frame whose first 4 KiB frame is @p base_pfn (which must be
+     * 512-frame aligned). No 4 KiB mapping may exist inside the
+     * chunk.
+     */
+    void mapHugePage(Addr vaddr, Pfn base_pfn);
+
+    /** Remove the 4 KiB mapping containing @p vaddr, if present. */
+    void unmapPage(Addr vaddr);
+
+    /** Remove the 2 MiB mapping containing @p vaddr, if present. */
+    void unmapHugePage(Addr vaddr);
+
+    /** Translate @p vaddr, or nullopt when unmapped. */
+    std::optional<Translation> translate(Addr vaddr) const;
+
+    /** True iff @p vaddr is mapped (at either granularity). */
+    bool isMapped(Addr vaddr) const;
+
+    /** True iff @p vaddr lies in a huge-page mapping. */
+    bool isHugeMapped(Addr vaddr) const;
+
+    /** True iff any 4 KiB page inside the 2 MiB chunk containing
+     *  @p vaddr is mapped (blocks THP promotion). */
+    bool chunkHasSmallMappings(Addr vaddr) const;
+
+    /** Number of 4 KiB mappings. */
+    std::uint64_t smallPageCount() const { return small_.size(); }
+
+    /** Number of 2 MiB mappings. */
+    std::uint64_t hugePageCount() const { return huge_.size(); }
+
+    /** Drop every mapping. */
+    void clear();
+
+  private:
+    /** 4 KiB VPN -> PFN. */
+    std::unordered_map<Vpn, Pfn> small_;
+    /** 2 MiB-granular VPN (vaddr >> 21) -> base PFN (4 KiB units).*/
+    std::unordered_map<Vpn, Pfn> huge_;
+    /** Count of 4 KiB mappings per 2 MiB chunk, for THP checks. */
+    std::unordered_map<Vpn, std::uint32_t> smallPerChunk_;
+};
+
+} // namespace sipt::vm
+
+#endif // SIPT_VM_PAGE_TABLE_HH

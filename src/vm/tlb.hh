@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A set-associative translation lookaside buffer with true-LRU
+ * replacement. One Tlb instance caches translations for a single
+ * page granularity; the unified L2 stores both granularities by
+ * tagging entries with the page size.
+ */
+
+#ifndef SIPT_VM_TLB_HH
+#define SIPT_VM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sipt::vm
+{
+
+/** Configuration of one TLB array. */
+struct TlbParams
+{
+    /** Total number of entries. */
+    std::uint32_t entries = 64;
+    /** Associativity; entries must be a multiple of this. */
+    std::uint32_t assoc = 4;
+};
+
+/**
+ * Set-associative LRU TLB keyed by (vpn, size-class).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params);
+
+    /**
+     * Probe for @p vpn of the given size class.
+     * @return true on hit (and update LRU state)
+     */
+    bool lookup(Vpn vpn, bool huge_page = false);
+
+    /** Insert @p vpn, evicting the set's LRU entry if needed. */
+    void insert(Vpn vpn, bool huge_page = false);
+
+    /** Invalidate everything (context switch / munmap). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Hit rate over all lookups so far (0 when idle). */
+    double hitRate() const;
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    /** Zero the counters (entries are kept: warmup). */
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool huge = false;
+        Vpn vpn = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry *findEntry(Vpn vpn, bool huge_page);
+
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace sipt::vm
+
+#endif // SIPT_VM_TLB_HH

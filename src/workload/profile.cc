@@ -1,0 +1,313 @@
+#include "workload/profile.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace sipt::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+constexpr std::uint64_t KiB = 1ull << 10;
+
+/**
+ * Build one profile from a compact spec. Parameters, in order:
+ * footprint, regions, alignLog2, skew, burst, randomTouch, thp,
+ * chase, hot, hotBytes, stride, memRatio, writeFrac, pcs.
+ */
+AppProfile
+make(const char *name, std::uint64_t foot, std::uint32_t regions,
+     unsigned align, std::uint32_t skew, std::uint32_t burst,
+     bool random_touch, double thp, double chase, double hot,
+     std::uint64_t hot_bytes, std::uint32_t stride,
+     double mem_ratio, double write_frac, std::uint32_t pcs)
+{
+    AppProfile p;
+    p.name = name;
+    p.footprintBytes = foot;
+    p.numRegions = regions;
+    p.regionAlignLog2 = align;
+    p.skewPages = skew;
+    p.touchBurstPages = burst;
+    p.randomTouch = random_touch;
+    p.thpAffinity = thp;
+    p.chaseFrac = chase;
+    p.hotFrac = hot;
+    p.hotBytes = hot_bytes;
+    p.streamStride = stride;
+    p.memRatio = mem_ratio;
+    p.writeFrac = write_frac;
+    p.pcsPerPattern = pcs;
+    return p;
+}
+
+/**
+ * The profile table. Three broad classes emerge, mirroring the
+ * paper's Fig. 5 taxonomy:
+ *  - huge-page streamers (libquantum, GemsFDTD, bwaves, lbm):
+ *    2 MiB-aligned regions, high THP affinity -> nearly all index
+ *    bits guaranteed unchanged;
+ *  - contiguous-but-misaligned apps (cactusADM, calculix, gromacs,
+ *    gcc, xz_17): page-aligned skewed regions with low THP
+ *    affinity -> deltas constant but nonzero, hostile to naive
+ *    SIPT and to bypass-only, friendly to the IDB;
+ *  - scattered big-data apps (graph500, ycsb, xalancbmk_17,
+ *    deepsjeng_17): bursty/random first-touch over fragmented
+ *    pools -> deltas vary at fine grain, the hardest case.
+ */
+std::vector<AppProfile>
+buildProfiles()
+{
+    std::vector<AppProfile> v;
+    // SPEC CPU 2006 ----------------------------------------------
+    v.push_back(make("sjeng", 170 * MiB, 2, 21, 0, 1024, false,
+                     0.45, 0.25, 0.50, 32 * KiB, 8, 0.28, 0.10,
+                     8));
+    v.push_back(make("mcf", 380 * MiB, 3, 21, 0, 0, false, 0.50,
+                     0.55, 0.20, 16 * KiB, 8, 0.35, 0.15, 8));
+    v.push_back(make("h264ref", 64 * MiB, 4, 21, 0, 512, false,
+                     0.40, 0.02, 0.55, 48 * KiB, 8, 0.33, 0.25,
+                     12));
+    v.push_back(make("gcc", 240 * MiB, 16, 12, 1, 64, false, 0.15,
+                     0.20, 0.40, 40 * KiB, 8, 0.30, 0.25, 24));
+    v.push_back(make("gobmk", 30 * MiB, 3, 21, 0, 256, false,
+                     0.30, 0.08, 0.45, 32 * KiB, 8, 0.28, 0.20,
+                     12));
+    v.push_back(make("omnetpp", 170 * MiB, 6, 21, 0, 128, false,
+                     0.25, 0.45, 0.25, 24 * KiB, 8, 0.32, 0.25,
+                     16));
+    v.push_back(make("hmmer", 32 * MiB, 2, 21, 0, 512, false,
+                     0.40, 0.03, 0.30, 24 * KiB, 8, 0.38, 0.20,
+                     8));
+    v.push_back(make("perlbench", 180 * MiB, 8, 21, 0, 128, false,
+                     0.25, 0.03, 0.55, 40 * KiB, 8, 0.35, 0.25,
+                     24));
+    v.push_back(make("bzip2", 100 * MiB, 3, 21, 0, 1024, false,
+                     0.40, 0.05, 0.40, 64 * KiB, 8, 0.30, 0.30,
+                     8));
+    v.push_back(make("libquantum", 96 * MiB, 1, 21, 0, 0, false,
+                     0.95, 0.00, 0.02, 16 * KiB, 16, 0.25, 0.25,
+                     2));
+    v.push_back(make("bwaves", 256 * MiB, 2, 21, 0, 0, false,
+                     0.90, 0.02, 0.10, 32 * KiB, 8, 0.32, 0.25,
+                     6));
+    v.push_back(make("cactusADM", 160 * MiB, 8, 12, 5, 0, false,
+                     0.05, 0.02, 0.60, 20 * KiB, 8, 0.34, 0.25,
+                     8));
+    v.push_back(make("calculix", 180 * MiB, 8, 12, 3, 0, false,
+                     0.05, 0.02, 0.50, 36 * KiB, 8, 0.32, 0.25,
+                     8));
+    v.push_back(make("gamess", 40 * MiB, 3, 21, 0, 512, false,
+                     0.30, 0.02, 0.65, 28 * KiB, 8, 0.30, 0.20,
+                     10));
+    v.push_back(make("GemsFDTD", 256 * MiB, 2, 21, 0, 0, false,
+                     0.95, 0.02, 0.08, 24 * KiB, 8, 0.33, 0.30,
+                     6));
+    v.push_back(make("povray", 8 * MiB, 2, 21, 0, 256, false,
+                     0.20, 0.05, 0.70, 24 * KiB, 8, 0.30, 0.15,
+                     12));
+    v.push_back(make("gromacs", 30 * MiB, 6, 12, 7, 0, false,
+                     0.05, 0.02, 0.55, 28 * KiB, 8, 0.33, 0.25,
+                     8));
+    // SPEC CPU 2017 ----------------------------------------------
+    v.push_back(make("deepsjeng_17", 600 * MiB, 4, 12, 3, 120,
+                     false, 0.15, 0.35, 0.35, 32 * KiB, 8, 0.30,
+                     0.15, 12));
+    v.push_back(make("mcf_17", 600 * MiB, 3, 21, 0, 0, false,
+                     0.45, 0.50, 0.20, 16 * KiB, 8, 0.35, 0.15,
+                     8));
+    v.push_back(make("x264_17", 128 * MiB, 4, 21, 0, 512, false,
+                     0.40, 0.03, 0.50, 48 * KiB, 8, 0.33, 0.25,
+                     12));
+    v.push_back(make("xalancbmk_17", 400 * MiB, 10, 12, 1, 60,
+                     false, 0.10, 0.50, 0.30, 36 * KiB, 8, 0.32,
+                     0.20, 24));
+    v.push_back(make("leela_17", 30 * MiB, 2, 21, 0, 256, false,
+                     0.30, 0.05, 0.60, 32 * KiB, 8, 0.30, 0.15,
+                     10));
+    v.push_back(make("exchange2_17", 2 * MiB, 1, 21, 0, 128,
+                     false, 0.10, 0.02, 0.85, 20 * KiB, 8, 0.30,
+                     0.20, 8));
+    v.push_back(make("xz_17", 300 * MiB, 4, 12, 11, 0, false,
+                     0.10, 0.15, 0.30, 64 * KiB, 8, 0.31, 0.30,
+                     8));
+    // Big data ----------------------------------------------------
+    v.push_back(make("graph500", 1024 * MiB, 4, 12, 9, 96, false,
+                     0.15, 0.70, 0.10, 32 * KiB, 8, 0.40, 0.05,
+                     12));
+    v.push_back(make("ycsb", 1024 * MiB, 6, 12, 5, 100, false,
+                     0.15, 0.60, 0.20, 48 * KiB, 8, 0.36, 0.20,
+                     16));
+    // Mix-only applications (Tab. III) ----------------------------
+    v.push_back(make("astar", 200 * MiB, 4, 12, 2, 128, false,
+                     0.25, 0.50, 0.30, 24 * KiB, 8, 0.32, 0.15,
+                     10));
+    v.push_back(make("lbm", 400 * MiB, 2, 21, 0, 0, false, 0.90,
+                     0.02, 0.05, 32 * KiB, 8, 0.34, 0.40, 6));
+    v.push_back(make("zeusmp", 200 * MiB, 3, 21, 0, 0, false,
+                     0.80, 0.03, 0.20, 32 * KiB, 8, 0.32, 0.30,
+                     8));
+    v.push_back(make("leslie3d", 128 * MiB, 2, 21, 0, 0, false,
+                     0.80, 0.03, 0.15, 32 * KiB, 8, 0.33, 0.30,
+                     8));
+    v.push_back(make("milc", 480 * MiB, 4, 21, 0, 512, false,
+                     0.60, 0.10, 0.25, 32 * KiB, 8, 0.33, 0.25,
+                     8));
+    v.push_back(make("tonto", 40 * MiB, 3, 21, 0, 256, false,
+                     0.30, 0.10, 0.60, 32 * KiB, 8, 0.30, 0.20,
+                     10));
+    v.push_back(make("soplex", 250 * MiB, 5, 12, 3, 128, false,
+                     0.25, 0.25, 0.25, 32 * KiB, 8, 0.33, 0.20,
+                     12));
+
+    // Chase-chain counts (memory-level parallelism of the
+    // pointer-chase traffic): graph/database traversals sustain
+    // many independent chains, interpreters few.
+    auto set_chains = [&v](const char *name,
+                           std::uint32_t chains) {
+        for (auto &p : v) {
+            if (p.name == name) {
+                p.chaseChains = chains;
+                return;
+            }
+        }
+        panic("set_chains: unknown profile ", name);
+    };
+    set_chains("mcf", 5);
+    set_chains("mcf_17", 5);
+    set_chains("omnetpp", 4);
+    set_chains("perlbench", 3);
+    set_chains("xalancbmk_17", 5);
+    set_chains("graph500", 10);
+    set_chains("ycsb", 8);
+    set_chains("astar", 4);
+    set_chains("leela_17", 3);
+    set_chains("povray", 3);
+
+    // Hot-chain fraction (how much of the hot traffic is
+    // dependent) and cold-chase span (0 = whole footprint).
+    // Latency-sensitive applications — those the paper's Fig. 2
+    // shows gaining most from a 2-cycle L1 — walk pointer-heavy
+    // resident structures; footprint-bound apps chase DRAM.
+    auto tune = [&v](const char *name, double hot_chase,
+                     std::uint64_t chase_span) {
+        for (auto &p : v) {
+            if (p.name == name) {
+                p.hotChaseFrac = hot_chase;
+                p.chaseSpanBytes = chase_span;
+                return;
+            }
+        }
+        panic("tune: unknown profile ", name);
+    };
+    tune("sjeng", 0.57, 0);
+    tune("deepsjeng_17", 0.50, 0);
+    tune("mcf", 0.29, 0);
+    tune("mcf_17", 0.29, 0);
+    tune("h264ref", 0.37, 256 * KiB);
+    tune("x264_17", 0.37, 512 * KiB);
+    tune("gcc", 0.51, 4 * MiB);
+    tune("gobmk", 0.43, 1 * MiB);
+    tune("omnetpp", 0.43, 24 * MiB);
+    tune("hmmer", 0.64, 512 * KiB);
+    tune("perlbench", 0.39, 256 * KiB);
+    tune("bzip2", 0.63, 4 * MiB);
+    tune("libquantum", 0.21, 0);
+    tune("bwaves", 0.29, 0);
+    tune("cactusADM", 0.37, 256 * KiB);
+    tune("calculix", 0.47, 256 * KiB);
+    tune("gamess", 0.39, 256 * KiB);
+    tune("GemsFDTD", 0.29, 0);
+    tune("povray", 0.36, 256 * KiB);
+    tune("gromacs", 0.41, 256 * KiB);
+    tune("graph500", 0.29, 0);
+    tune("ycsb", 0.29, 0);
+    tune("xalancbmk_17", 0.43, 32 * MiB);
+    tune("leela_17", 0.41, 256 * KiB);
+    tune("exchange2_17", 0.29, 128 * KiB);
+    tune("xz_17", 0.46, 16 * MiB);
+    tune("astar", 0.43, 16 * MiB);
+    tune("lbm", 0.29, 0);
+    tune("zeusmp", 0.36, 0);
+    tune("leslie3d", 0.36, 0);
+    tune("milc", 0.36, 0);
+    tune("tonto", 0.50, 1 * MiB);
+    tune("soplex", 0.43, 16 * MiB);
+    return v;
+}
+
+const std::vector<AppProfile> &
+profiles()
+{
+    static const std::vector<AppProfile> table = buildProfiles();
+    return table;
+}
+
+} // namespace
+
+const AppProfile &
+appProfile(const std::string &name)
+{
+    for (const auto &p : profiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown application profile: ", name);
+}
+
+const std::vector<std::string> &
+figureApps()
+{
+    // Exactly the x-axis order of the paper's per-app figures.
+    static const std::vector<std::string> apps = {
+        "sjeng",      "deepsjeng_17", "mcf",
+        "mcf_17",     "h264ref",      "x264_17",
+        "gcc",        "gobmk",        "omnetpp",
+        "hmmer",      "perlbench",    "bzip2",
+        "libquantum", "bwaves",       "cactusADM",
+        "calculix",   "gamess",       "GemsFDTD",
+        "povray",     "gromacs",      "graph500",
+        "ycsb",       "xalancbmk_17", "leela_17",
+        "exchange2_17", "xz_17",
+    };
+    return apps;
+}
+
+const std::vector<std::string> &
+allApps()
+{
+    static const std::vector<std::string> apps = [] {
+        std::vector<std::string> names;
+        for (const auto &p : profiles())
+            names.push_back(p.name);
+        return names;
+    }();
+    return apps;
+}
+
+const std::vector<std::vector<std::string>> &
+multicoreMixes()
+{
+    // Tab. III of the paper.
+    static const std::vector<std::vector<std::string>> mixes = {
+        {"h264ref", "hmmer", "perlbench", "povray"},        // Mix0
+        {"mcf", "gcc", "bwaves", "cactusADM"},              // Mix1
+        {"gobmk", "calculix", "GemsFDTD", "gromacs"},       // Mix2
+        {"astar", "libquantum", "lbm", "zeusmp"},           // Mix3
+        {"mcf", "perlbench", "leslie3d", "milc"},           // Mix4
+        {"h264ref", "cactusADM", "calculix", "tonto"},      // Mix5
+        {"gcc", "libquantum", "gamess", "povray"},          // Mix6
+        {"sjeng", "omnetpp", "bzip2", "soplex"},            // Mix7
+        {"graph500", "ycsb", "mcf", "povray"},              // Mix8
+        {"mcf_17", "xalancbmk_17", "x264_17",
+         "deepsjeng_17"},                                   // Mix9
+        {"leela_17", "exchange2_17", "xz_17",
+         "xalancbmk_17"},                                   // Mix10
+    };
+    return mixes;
+}
+
+} // namespace sipt::workload

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Per-application workload profiles.
+ *
+ * The paper evaluates SPEC CPU 2006/2017 plus graph500 and DBx1000
+ * ycsb from 500M-instruction SimPoint traces with recorded VA->PA
+ * mappings. We cannot ship SPEC, so each named application is
+ * modelled by a profile that controls exactly the properties SIPT
+ * is sensitive to:
+ *
+ *  - memory footprint and how it is allocated (region count,
+ *    alignment, first-touch order and burstiness) -> the VA->PA
+ *    delta structure produced by the simulated buddy allocator;
+ *  - transparent-huge-page affinity -> the fraction of accesses
+ *    with guaranteed-unchanged index bits (Fig. 5's "hugepage");
+ *  - the steady-state access mix (streaming / pointer-chase /
+ *    hot-working-set) -> L1/TLB hit rates, capacity sensitivity,
+ *    and how much L1 latency is exposed (chase chains);
+ *  - PC diversity -> pressure on the PC-indexed predictors.
+ *
+ * Footprints are scaled down ~2-4x from the real applications so a
+ * full figure sweep runs in seconds; all page-granular effects are
+ * preserved. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef SIPT_WORKLOAD_PROFILE_HH
+#define SIPT_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sipt::workload
+{
+
+/** A synthetic application description. */
+struct AppProfile
+{
+    std::string name;
+
+    // --- allocation-phase behaviour -------------------------------
+    /** Total data footprint in bytes. */
+    std::uint64_t footprintBytes = 64ull << 20;
+    /** Number of separately mmap'd regions. */
+    std::uint32_t numRegions = 4;
+    /** log2 of region VA alignment (21 = huge-page aligned). */
+    unsigned regionAlignLog2 = 21;
+    /**
+     * Extra pages added to each region base (scaled by the region
+     * index), decorrelating the VA page bits from frame bits.
+     */
+    std::uint32_t skewPages = 0;
+    /** First-touch burst length in pages; bursts round-robin
+     *  across regions, modelling interleaved growth of multiple
+     *  data structures. 0 = touch each region fully in one go. */
+    std::uint32_t touchBurstPages = 0;
+    /** Touch pages of each region in random order. */
+    bool randomTouch = false;
+    /** Probability an eligible 2 MiB chunk is THP-backed. */
+    double thpAffinity = 0.5;
+
+    // --- steady-state access mix ----------------------------------
+    /** Fraction of references that are dependent pointer chases. */
+    double chaseFrac = 0.1;
+    /** Number of independent chase chains (memory-level
+     *  parallelism of the chase traffic). */
+    std::uint32_t chaseChains = 4;
+    /** Fraction of references into the hot working set. */
+    double hotFrac = 0.5;
+    /** Hot working-set size in bytes (L1-capacity driver). */
+    std::uint64_t hotBytes = 32 * 1024;
+    /**
+     * Fraction of hot references that are address-dependent on the
+     * previous hot load (pointer-heavy code walking resident
+     * structures). These chains of L1 *hits* are what exposes L1
+     * hit latency on an out-of-order core.
+     */
+    double hotChaseFrac = 0.3;
+    /**
+     * Span of the cold pointer-chase traffic in bytes; 0 chases
+     * the entire footprint (DRAM-bound). Latency-sensitive apps
+     * chase within L2/LLC-sized structures.
+     */
+    std::uint64_t chaseSpanBytes = 0;
+    /** Stride in bytes of streaming references. */
+    std::uint32_t streamStride = 8;
+    /** Fraction of instructions that are memory references. */
+    double memRatio = 0.3;
+    /** Fraction of non-chase references that are stores. */
+    double writeFrac = 0.25;
+    /** Distinct PCs per access pattern (predictor pressure). */
+    std::uint32_t pcsPerPattern = 8;
+};
+
+/**
+ * Look up a named profile. Names follow the paper's figures
+ * (e.g. "mcf", "deepsjeng_17", "graph500", "ycsb").
+ * Unknown names are fatal.
+ */
+const AppProfile &appProfile(const std::string &name);
+
+/** The 26 applications shown on the x-axis of Figs. 2-17. */
+const std::vector<std::string> &figureApps();
+
+/** Every profile name (figure apps + mix-only apps). */
+const std::vector<std::string> &allApps();
+
+/** The 11 quad-core mixes of Tab. III. */
+const std::vector<std::vector<std::string>> &multicoreMixes();
+
+} // namespace sipt::workload
+
+#endif // SIPT_WORKLOAD_PROFILE_HH

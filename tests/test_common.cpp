@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the RNG, statistics helpers, and text tables.
+ */
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace sipt
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::vector<int> buckets(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.below(8)];
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 8 - 600);
+        EXPECT_LT(b, n / 8 + 600);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(19);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(3, 5);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Distribution, TracksMoments)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(1.0);
+    d.sample(2.0);
+    d.sample(3.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_NEAR(d.variance(), 2.0 / 3.0, 1e-12);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Means, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 0.0}), 0.0);
+}
+
+TEST(Means, ArithmeticAndGeometric)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0, 4.0}), 3.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(Means, HarmonicLeArithmetic)
+{
+    const std::vector<double> v = {0.5, 1.3, 2.2, 0.9};
+    EXPECT_LE(harmonicMean(v), geometricMean(v) + 1e-12);
+    EXPECT_LE(geometricMean(v), arithmeticMean(v) + 1e-12);
+}
+
+TEST(TextTable, AlignsAndPrints)
+{
+    TextTable t({"a", "bb"});
+    t.beginRow();
+    t.add("x");
+    t.add(1.5, 1);
+    t.beginRow();
+    t.add("longer");
+    t.add(std::uint64_t{42});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(StatGroup, DumpsBoundValues)
+{
+    StatGroup g("grp");
+    std::uint64_t c = 5;
+    double s = 2.5;
+    g.addStat("counter", &c);
+    g.addStat("scalar", &s);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.counter 5"), std::string::npos);
+    EXPECT_NE(os.str().find("grp.scalar 2.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace sipt

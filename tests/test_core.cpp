@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the trace-driven core models: issue bandwidth, chase
+ * chains, ROB/MSHR windows, in-order load-use stalls, and the
+ * relative behaviours the SIPT evaluation depends on (in-order
+ * exposes more L1 latency than OOO; chains expose hit latency).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+
+namespace sipt::cpu
+{
+namespace
+{
+
+/** Fixed-latency memory with optional per-ref miss flags. */
+class FixedPort : public MemPort
+{
+  public:
+    explicit FixedPort(Cycles latency, bool miss = false)
+        : latency_(latency), miss_(miss)
+    {
+    }
+
+    Cycles
+    access(const MemRef &, Cycles, bool &miss_out) override
+    {
+        miss_out = miss_;
+        ++accesses_;
+        return latency_;
+    }
+
+    std::uint64_t accesses() const { return accesses_; }
+
+    Cycles latency_;
+    bool miss_;
+
+  private:
+    std::uint64_t accesses_ = 0;
+};
+
+/** A canned list of refs, then ends. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {
+    }
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos_ >= refs_.size())
+            return false;
+        ref = refs_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+std::vector<MemRef>
+makeRefs(std::size_t n, std::uint32_t gap, bool chase = false,
+         std::uint8_t chain_tail = 0)
+{
+    std::vector<MemRef> refs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        refs[i].pc = 0x400000;
+        refs[i].vaddr = 0x1000 + 64 * i;
+        refs[i].nonMemBefore = gap;
+        refs[i].dependsOnPrev = chase;
+        refs[i].chainId = 0;
+        refs[i].chainTail = chain_tail;
+    }
+    return refs;
+}
+
+TEST(CorePresets, MatchTableII)
+{
+    const auto ooo = outOfOrderCoreParams();
+    EXPECT_TRUE(ooo.outOfOrder);
+    EXPECT_EQ(ooo.width, 6u);
+    EXPECT_EQ(ooo.robSize, 192u);
+    const auto in = inOrderCoreParams();
+    EXPECT_FALSE(in.outOfOrder);
+    EXPECT_EQ(in.width, 2u);
+}
+
+TEST(Core, CountsInstructionsAndRefs)
+{
+    TraceCore core(outOfOrderCoreParams());
+    VectorSource src(makeRefs(100, 3));
+    FixedPort port(2);
+    const auto r = core.run(src, port, 1000);
+    EXPECT_EQ(r.memRefs, 100u);
+    EXPECT_EQ(r.instructions, 400u);
+    EXPECT_EQ(port.accesses(), 100u);
+}
+
+TEST(Core, RespectsMaxRefs)
+{
+    TraceCore core(outOfOrderCoreParams());
+    VectorSource src(makeRefs(100, 0));
+    FixedPort port(2);
+    const auto r = core.run(src, port, 10);
+    EXPECT_EQ(r.memRefs, 10u);
+}
+
+TEST(Core, OooIndependentWorkIsIssueBound)
+{
+    // Short-latency independent loads: IPC ~= effectiveIlp.
+    auto params = outOfOrderCoreParams();
+    TraceCore core(params);
+    VectorSource src(makeRefs(20000, 2));
+    FixedPort port(2);
+    const auto r = core.run(src, port, 20000);
+    EXPECT_NEAR(r.ipc(), params.effectiveIlp, 0.2);
+}
+
+TEST(Core, OooHidesHitLatencyWithoutChains)
+{
+    // Independent loads: 2 vs 4 cycles should not matter.
+    auto params = outOfOrderCoreParams();
+    double ipc[2];
+    int i = 0;
+    for (Cycles lat : {Cycles{2}, Cycles{4}}) {
+        TraceCore core(params);
+        VectorSource src(makeRefs(20000, 2));
+        FixedPort port(lat);
+        ipc[i++] = core.run(src, port, 20000).ipc();
+    }
+    EXPECT_NEAR(ipc[0], ipc[1], 0.02 * ipc[0]);
+}
+
+TEST(Core, ChainsExposeHitLatency)
+{
+    // Dense dependent chains: latency shows up in IPC.
+    auto params = outOfOrderCoreParams();
+    double ipc[2];
+    int i = 0;
+    for (Cycles lat : {Cycles{2}, Cycles{4}}) {
+        TraceCore core(params);
+        VectorSource src(makeRefs(20000, 0, true, 3));
+        FixedPort port(lat);
+        ipc[i++] = core.run(src, port, 20000).ipc();
+    }
+    // Per link: lat + 3 tail -> 5 vs 7 cycles per instruction.
+    EXPECT_GT(ipc[0], 1.3 * ipc[1]);
+}
+
+TEST(Core, OooMissesAreWindowLimited)
+{
+    // Long-latency misses: throughput limited by loadWindow
+    // entries in flight, not fully serialised.
+    auto params = outOfOrderCoreParams();
+    TraceCore core(params);
+    VectorSource src(makeRefs(5000, 0));
+    FixedPort port(200, true);
+    const auto r = core.run(src, port, 5000);
+    const double cycles_per_ref = r.cycles / 5000.0;
+    // MSHRs (16) bound MLP: >= 200/16 = 12.5 cycles per miss;
+    // far better than serial (200).
+    EXPECT_GT(cycles_per_ref, 11.0);
+    EXPECT_LT(cycles_per_ref, 40.0);
+}
+
+TEST(Core, InOrderExposesLatencyMoreThanOoo)
+{
+    const auto run_one = [](bool ooo, Cycles lat) {
+        TraceCore core(ooo ? outOfOrderCoreParams()
+                           : inOrderCoreParams());
+        VectorSource src(makeRefs(20000, 2));
+        FixedPort port(lat);
+        return core.run(src, port, 20000).ipc();
+    };
+    const double ooo_ratio = run_one(true, 2) / run_one(true, 20);
+    const double in_ratio =
+        run_one(false, 2) / run_one(false, 20);
+    EXPECT_GT(in_ratio, ooo_ratio);
+    EXPECT_GT(in_ratio, 1.5);
+}
+
+TEST(Core, InOrderIpcBelowWidth)
+{
+    TraceCore core(inOrderCoreParams());
+    VectorSource src(makeRefs(10000, 2));
+    FixedPort port(2);
+    const auto r = core.run(src, port, 10000);
+    EXPECT_LE(r.ipc(), 2.0);
+    EXPECT_GT(r.ipc(), 0.5);
+}
+
+TEST(Core, StateCarriesAcrossRuns)
+{
+    TraceCore core(outOfOrderCoreParams());
+    VectorSource src(makeRefs(2000, 2));
+    FixedPort port(2);
+    const auto r1 = core.run(src, port, 1000);
+    const auto r2 = core.run(src, port, 1000);
+    EXPECT_GT(core.cyclesSoFar(), 0.0);
+    EXPECT_NEAR(r1.cycles, r2.cycles, r1.cycles * 0.2);
+}
+
+TEST(Core, SeparateChainsOverlap)
+{
+    // Two chains with distinct ids run concurrently: twice the
+    // throughput of one chain.
+    auto params = outOfOrderCoreParams();
+    const auto run_chains = [&](int nchains) {
+        std::vector<MemRef> refs = makeRefs(20000, 0, true, 0);
+        for (std::size_t i = 0; i < refs.size(); ++i)
+            refs[i].chainId =
+                static_cast<std::uint8_t>(i % nchains);
+        TraceCore core(params);
+        VectorSource src(refs);
+        FixedPort port(20);
+        return core.run(src, port, 20000).ipc();
+    };
+    const double one = run_chains(1);
+    const double two = run_chains(2);
+    EXPECT_GT(two, 1.7 * one);
+}
+
+TEST(Core, SecondsFollowFrequency)
+{
+    CoreResult r;
+    r.cycles = 3e9;
+    EXPECT_DOUBLE_EQ(r.seconds(3.0), 1.0);
+    EXPECT_DOUBLE_EQ(r.seconds(1.5), 2.0);
+}
+
+TEST(Core, BadParamsAreFatal)
+{
+    CoreParams p;
+    p.width = 0;
+    EXPECT_EXIT(TraceCore core(p),
+                ::testing::ExitedWithCode(1), "width");
+    CoreParams q;
+    q.outOfOrder = true;
+    q.loadWindow = 0;
+    EXPECT_EXIT(TraceCore core(q),
+                ::testing::ExitedWithCode(1), "loadWindow");
+}
+
+} // namespace
+} // namespace sipt::cpu

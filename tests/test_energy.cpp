@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the CACTI-like model (anchored to Tab. II) and the
+ * hierarchy energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "dram/dram.hh"
+#include "energy/accounting.hh"
+#include "energy/cacti_model.hh"
+#include "sim/presets.hh"
+
+namespace sipt::energy
+{
+namespace
+{
+
+TEST(Cacti, LatencyCyclesMatchTableII)
+{
+    EXPECT_EQ(CactiModel::latencyCycles({32 * 1024, 8, 1, 1}),
+              4u);
+    EXPECT_EQ(CactiModel::latencyCycles({32 * 1024, 2, 1, 1}),
+              2u);
+    EXPECT_EQ(CactiModel::latencyCycles({32 * 1024, 4, 1, 1}),
+              3u);
+    EXPECT_EQ(CactiModel::latencyCycles({64 * 1024, 4, 1, 1}),
+              3u);
+    EXPECT_EQ(CactiModel::latencyCycles({128 * 1024, 4, 1, 1}),
+              4u);
+    EXPECT_EQ(CactiModel::latencyCycles({16 * 1024, 4, 1, 1}),
+              2u);
+}
+
+TEST(Cacti, AssociativityDominatesLatency)
+{
+    // The Fig. 1 headline: going 4->32 ways hurts more than
+    // going 16 KiB -> 128 KiB.
+    const double assoc_penalty =
+        CactiModel::latencyRaw({32 * 1024, 32, 1, 1}) /
+        CactiModel::latencyRaw({32 * 1024, 4, 1, 1});
+    const double size_penalty =
+        CactiModel::latencyRaw({128 * 1024, 4, 1, 1}) /
+        CactiModel::latencyRaw({16 * 1024, 4, 1, 1});
+    EXPECT_GT(assoc_penalty, size_penalty);
+    EXPECT_GT(assoc_penalty, 1.8);
+}
+
+TEST(Cacti, PortsIncreaseLatencyAndEnergy)
+{
+    const ArrayConfig one{32 * 1024, 8, 1, 1};
+    const ArrayConfig two{32 * 1024, 8, 2, 1};
+    EXPECT_GT(CactiModel::latencyRaw(two),
+              1.3 * CactiModel::latencyRaw(one));
+    EXPECT_GT(CactiModel::accessEnergyNj(two),
+              CactiModel::accessEnergyNj(one));
+    EXPECT_GT(CactiModel::staticPowerMw(two),
+              CactiModel::staticPowerMw(one));
+}
+
+TEST(Cacti, EnergyNearTableIIAnchors)
+{
+    EXPECT_NEAR(CactiModel::accessEnergyNj({32 * 1024, 8, 1, 1}),
+                0.38, 0.05);
+    EXPECT_NEAR(CactiModel::accessEnergyNj({32 * 1024, 2, 1, 1}),
+                0.10, 0.02);
+    EXPECT_NEAR(CactiModel::accessEnergyNj({32 * 1024, 4, 1, 1}),
+                0.185, 0.03);
+    EXPECT_NEAR(CactiModel::accessEnergyNj({64 * 1024, 4, 1, 1}),
+                0.27, 0.04);
+}
+
+TEST(Cacti, StaticPowerNearTableIIAnchors)
+{
+    EXPECT_NEAR(CactiModel::staticPowerMw({32 * 1024, 8, 1, 1}),
+                46.0, 8.0);
+    EXPECT_NEAR(CactiModel::staticPowerMw({32 * 1024, 2, 1, 1}),
+                24.0, 4.0);
+    EXPECT_NEAR(CactiModel::staticPowerMw({64 * 1024, 4, 1, 1}),
+                51.0, 8.0);
+}
+
+TEST(Energy, BreakdownSumsCorrectly)
+{
+    EnergyBreakdown e;
+    e.l1Dynamic = 1.0;
+    e.l2Dynamic = 2.0;
+    e.llcDynamic = 3.0;
+    e.l1Static = 4.0;
+    e.l2Static = 5.0;
+    e.llcStatic = 6.0;
+    EXPECT_DOUBLE_EQ(e.dynamicTotal(), 6.0);
+    EXPECT_DOUBLE_EQ(e.staticTotal(), 15.0);
+    EXPECT_DOUBLE_EQ(e.total(), 21.0);
+    EnergyBreakdown f = e;
+    f += e;
+    EXPECT_DOUBLE_EQ(f.total(), 42.0);
+}
+
+TEST(Energy, ComputeEnergyIntegratesStatic)
+{
+    dram::Dram d;
+    cache::TimingCache llc(sim::llcPreset(true, 1));
+    const auto l2 = sim::l2Preset();
+    cache::BelowL1 below(&l2, llc, d);
+    SiptL1Cache l1(
+        sim::l1Preset(sim::L1Config::Baseline32K8,
+                      IndexingPolicy::Vipt),
+        below);
+
+    // One millisecond at the Tab. II static powers.
+    const auto e = computeEnergy(l1, below, 100.0, 578.0, 1e-3);
+    EXPECT_NEAR(e.l1Static, 46.0 * 1e6 * 1e-3, 1.0);
+    EXPECT_NEAR(e.l2Static, 102.0 * 1e6 * 1e-3, 1.0);
+    EXPECT_NEAR(e.llcStatic, 578.0 * 1e6 * 1e-3, 1.0);
+    EXPECT_DOUBLE_EQ(e.llcDynamic, 100.0);
+    EXPECT_DOUBLE_EQ(e.l1Dynamic, 0.0);
+}
+
+TEST(Energy, TwoLevelHierarchyHasNoL2Term)
+{
+    dram::Dram d;
+    cache::TimingCache llc(sim::llcPreset(false, 1));
+    cache::BelowL1 below(nullptr, llc, d);
+    SiptL1Cache l1(
+        sim::l1Preset(sim::L1Config::Baseline32K8,
+                      IndexingPolicy::Vipt),
+        below);
+    const auto e = computeEnergy(l1, below, 0.0, 532.0, 1e-3);
+    EXPECT_DOUBLE_EQ(e.l2Static, 0.0);
+    EXPECT_DOUBLE_EQ(e.l2Dynamic, 0.0);
+}
+
+} // namespace
+} // namespace sipt::energy

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the instruction-fetch stream generator (the SIPT-I
+ * extension substrate).
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "workload/instruction_stream.hh"
+
+namespace sipt::workload
+{
+namespace
+{
+
+constexpr std::uint64_t frames = (1ull << 30) / pageSize;
+
+class StreamFixture : public ::testing::Test
+{
+  protected:
+    void
+    build(const CodeProfile &profile, std::uint64_t seed = 5)
+    {
+        stream.reset();
+        as.reset();
+        buddy.reset();
+        buddy = std::make_unique<os::BuddyAllocator>(frames);
+        os::PagingPolicy pol;
+        pol.thpChance = profile.thpAffinity;
+        as = std::make_unique<os::AddressSpace>(*buddy, pol, 4);
+        stream = std::make_unique<InstructionStream>(profile,
+                                                     *as, seed);
+    }
+
+    std::unique_ptr<os::BuddyAllocator> buddy;
+    std::unique_ptr<os::AddressSpace> as;
+    std::unique_ptr<InstructionStream> stream;
+};
+
+TEST_F(StreamFixture, TextIsFullyMapped)
+{
+    const auto profile = smallCodeProfile();
+    build(profile);
+    MemRef ref;
+    for (int i = 0; i < 100000; ++i) {
+        stream->next(ref);
+        ASSERT_TRUE(as->pageTable().isMapped(ref.vaddr));
+        ASSERT_GE(ref.vaddr, stream->textBase());
+        ASSERT_LT(ref.vaddr,
+                  stream->textBase() + profile.codeBytes);
+    }
+}
+
+TEST_F(StreamFixture, FetchChunksAreAligned)
+{
+    build(smallCodeProfile());
+    MemRef ref;
+    for (int i = 0; i < 10000; ++i) {
+        stream->next(ref);
+        EXPECT_EQ(ref.vaddr % InstructionStream::fetchBytes, 0u);
+        EXPECT_EQ(ref.op, MemOp::Load);
+        EXPECT_EQ(ref.pc, ref.vaddr);
+    }
+}
+
+TEST_F(StreamFixture, FetchIsMostlySequential)
+{
+    build(smallCodeProfile());
+    MemRef ref;
+    Addr prev = 0;
+    int sequential = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        stream->next(ref);
+        sequential +=
+            (ref.vaddr == prev + InstructionStream::fetchBytes);
+        prev = ref.vaddr;
+    }
+    // Roughly 1 - loopBackProb - callProb of fetches continue
+    // in a straight line.
+    EXPECT_GT(sequential, n / 2);
+}
+
+TEST_F(StreamFixture, HotFunctionsDominate)
+{
+    const auto profile = smallCodeProfile();
+    build(profile);
+    MemRef ref;
+    std::set<Vpn> pages;
+    const int n = 100000;
+    std::uint64_t bytes_span = 0;
+    for (int i = 0; i < n; ++i) {
+        stream->next(ref);
+        pages.insert(ref.vaddr >> pageShift);
+    }
+    bytes_span = pages.size() * pageSize;
+    // The dynamic footprint is a fraction of the static text.
+    EXPECT_LT(bytes_span, profile.codeBytes);
+}
+
+TEST_F(StreamFixture, LargeCodeTouchesMorePages)
+{
+    MemRef ref;
+    std::set<Vpn> small_pages, large_pages;
+    build(smallCodeProfile());
+    for (int i = 0; i < 60000; ++i) {
+        stream->next(ref);
+        small_pages.insert(ref.vaddr >> pageShift);
+    }
+    build(largeCodeProfile());
+    for (int i = 0; i < 60000; ++i) {
+        stream->next(ref);
+        large_pages.insert(ref.vaddr >> pageShift);
+    }
+    EXPECT_GT(large_pages.size(), 2 * small_pages.size());
+}
+
+TEST_F(StreamFixture, DeterministicForSeed)
+{
+    build(smallCodeProfile(), 77);
+    std::vector<Addr> a;
+    MemRef ref;
+    for (int i = 0; i < 2000; ++i) {
+        stream->next(ref);
+        a.push_back(ref.vaddr);
+    }
+    build(smallCodeProfile(), 77);
+    for (int i = 0; i < 2000; ++i) {
+        stream->next(ref);
+        EXPECT_EQ(ref.vaddr, a[static_cast<size_t>(i)]);
+    }
+}
+
+TEST_F(StreamFixture, BadProfilesAreFatal)
+{
+    CodeProfile tiny;
+    tiny.codeBytes = 100;
+    EXPECT_EXIT(build(tiny), ::testing::ExitedWithCode(1),
+                "smaller than a page");
+    CodeProfile bad;
+    bad.hotFunctions = bad.numFunctions + 1;
+    EXPECT_EXIT(build(bad), ::testing::ExitedWithCode(1),
+                "function counts");
+}
+
+} // namespace
+} // namespace sipt::workload

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the radix page walker and its integration with the
+ * MMU and the cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/timing_cache.hh"
+#include "dram/dram.hh"
+#include "vm/mmu.hh"
+#include "vm/page_walker.hh"
+
+namespace sipt::vm
+{
+namespace
+{
+
+/** Walk port with a fixed latency and an access log. */
+class FixedWalkPort : public WalkPort
+{
+  public:
+    explicit FixedWalkPort(Cycles latency) : latency_(latency) {}
+
+    Cycles
+    walkRead(Addr paddr, Cycles) override
+    {
+        reads.push_back(paddr);
+        return latency_;
+    }
+
+    std::vector<Addr> reads;
+
+  private:
+    Cycles latency_;
+};
+
+TEST(PageWalker, ColdWalkReadsEveryLevel)
+{
+    FixedWalkPort port(10);
+    PageWalker walker(WalkerParams{}, port);
+    const Cycles lat = walker.walk(0x7f0012345000, 0, false);
+    EXPECT_EQ(port.reads.size(), 4u);
+    EXPECT_EQ(lat, 40u);
+    EXPECT_EQ(walker.walks(), 1u);
+    EXPECT_EQ(walker.pwcHits(), 0u);
+}
+
+TEST(PageWalker, HugePageWalkStopsOneLevelEarly)
+{
+    FixedWalkPort port(10);
+    PageWalker walker(WalkerParams{}, port);
+    const Cycles lat = walker.walk(0x7f0012345000, 0, true);
+    EXPECT_EQ(port.reads.size(), 3u);
+    EXPECT_EQ(lat, 30u);
+}
+
+TEST(PageWalker, PwcShortcutsRepeatWalks)
+{
+    FixedWalkPort port(10);
+    WalkerParams params;
+    PageWalker walker(params, port);
+    walker.walk(0x7f0012345000, 0, false);
+    // Neighbouring page in the same leaf table: only the leaf
+    // PTE read is needed after the level-1 PWC hit.
+    const Cycles lat = walker.walk(0x7f0012346000, 0, false);
+    EXPECT_EQ(lat, params.pwcLatency + 10);
+    EXPECT_EQ(walker.pwcHits(), 1u);
+    EXPECT_EQ(port.reads.size(), 5u);
+}
+
+TEST(PageWalker, DistantAddressesMissThePwc)
+{
+    FixedWalkPort port(10);
+    PageWalker walker(WalkerParams{}, port);
+    walker.walk(0, 0, false);
+    walker.walk(Addr{1} << 40, 0, false); // different root entry
+    EXPECT_EQ(walker.pwcHits(), 0u);
+    EXPECT_EQ(port.reads.size(), 8u);
+}
+
+TEST(PageWalker, PteAddressesAreDistinctAcrossLevels)
+{
+    FixedWalkPort port(1);
+    PageWalker walker(WalkerParams{}, port);
+    walker.walk(0x123456789000, 0, false);
+    for (std::size_t i = 0; i < port.reads.size(); ++i) {
+        for (std::size_t j = i + 1; j < port.reads.size(); ++j)
+            EXPECT_NE(port.reads[i], port.reads[j]);
+    }
+}
+
+TEST(PageWalker, BadParamsAreFatal)
+{
+    FixedWalkPort port(1);
+    WalkerParams one;
+    one.levels = 1;
+    EXPECT_EXIT(PageWalker w(one, port),
+                ::testing::ExitedWithCode(1), "levels");
+    WalkerParams odd;
+    odd.pwcEntries = 33;
+    EXPECT_EXIT(PageWalker w(odd, port),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+/** PTE reads through a real hierarchy: repeated walks hit the
+ *  caches and get cheaper. */
+class HierarchyWalkPort : public WalkPort
+{
+  public:
+    HierarchyWalkPort(cache::BelowL1 &below) : below_(below) {}
+
+    Cycles
+    walkRead(Addr paddr, Cycles now) override
+    {
+        return below_.fill(paddr, now);
+    }
+
+  private:
+    cache::BelowL1 &below_;
+};
+
+TEST(PageWalker, WalksThroughCachesGetCheaper)
+{
+    dram::Dram dram;
+    cache::TimingCacheParams lp;
+    lp.geometry.sizeBytes = 1 << 20;
+    lp.geometry.assoc = 16;
+    lp.latency = 20;
+    cache::TimingCache llc(lp);
+    cache::BelowL1 below(nullptr, llc, dram);
+    HierarchyWalkPort port(below);
+    PageWalker walker(WalkerParams{}, port);
+
+    const Cycles cold = walker.walk(0x500000000, 0, false);
+    // Same address again, PWC flushed... there is no flush API;
+    // use a sibling page that shares upper levels but misses the
+    // leaf PWC tag (PWC covers levels >= 1, so the leaf read
+    // repeats and now hits the LLC).
+    const Cycles warm = walker.walk(0x500000000 + pageSize,
+                                    1000, false);
+    EXPECT_LT(warm, cold);
+}
+
+TEST(Mmu, WalkerReplacesConstantLatency)
+{
+    PageTable pt;
+    pt.mapPage(0x1000, 99);
+    FixedWalkPort port(25);
+    PageWalker walker(WalkerParams{}, port);
+    Mmu mmu;
+    mmu.setWalker(&walker);
+    const auto r = mmu.translate(0x1000, pt, 0);
+    // 4 dependent PTE reads of 25 cycles + L2 TLB latency.
+    EXPECT_EQ(r.latency, mmu.params().l2Latency + 100);
+    EXPECT_EQ(walker.walks(), 1u);
+    // TLB hit afterwards: walker not consulted.
+    const auto r2 = mmu.translate(0x1000, pt, 10);
+    EXPECT_EQ(r2.latency, mmu.params().l1Latency);
+    EXPECT_EQ(walker.walks(), 1u);
+}
+
+} // namespace
+} // namespace sipt::vm

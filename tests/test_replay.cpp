@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for trace recording and replay, including the
+ * trace-recycling behaviour the multicore evaluation relies on,
+ * and replay-equivalence of cache results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/timing_cache.hh"
+#include "cpu/replay.hh"
+#include "dram/dram.hh"
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "sipt/l1_cache.hh"
+#include "vm/mmu.hh"
+#include "workload/synthetic.hh"
+
+namespace sipt::cpu
+{
+namespace
+{
+
+class CountingSource : public TraceSource
+{
+  public:
+    explicit CountingSource(std::size_t n) : n_(n) {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (produced_ >= n_)
+            return false;
+        ref = MemRef{};
+        ref.vaddr = produced_ * 64;
+        ref.pc = 0x400000 + 4 * (produced_ % 8);
+        ++produced_;
+        return true;
+    }
+
+  private:
+    std::size_t n_;
+    std::size_t produced_ = 0;
+};
+
+TEST(Recording, CapturesEverything)
+{
+    CountingSource src(100);
+    RecordingSource rec(src);
+    MemRef ref;
+    while (rec.next(ref)) {
+    }
+    EXPECT_EQ(rec.trace().size(), 100u);
+    EXPECT_EQ(rec.trace()[7].vaddr, 7u * 64);
+}
+
+TEST(Recording, TakeTraceMovesOut)
+{
+    CountingSource src(10);
+    RecordingSource rec(src);
+    MemRef ref;
+    while (rec.next(ref)) {
+    }
+    const auto trace = rec.takeTrace();
+    EXPECT_EQ(trace.size(), 10u);
+    EXPECT_TRUE(rec.trace().empty());
+}
+
+TEST(Replay, ReproducesTraceExactly)
+{
+    CountingSource src(50);
+    RecordingSource rec(src);
+    MemRef ref;
+    std::vector<Addr> original;
+    while (rec.next(ref))
+        original.push_back(ref.vaddr);
+
+    ReplaySource replay(rec.takeTrace());
+    for (Addr expected : original) {
+        ASSERT_TRUE(replay.next(ref));
+        EXPECT_EQ(ref.vaddr, expected);
+    }
+    EXPECT_FALSE(replay.next(ref));
+}
+
+TEST(Replay, LoopRecyclesTrace)
+{
+    ReplaySource replay({MemRef{}, MemRef{}, MemRef{}}, true);
+    MemRef ref;
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(replay.next(ref));
+    EXPECT_EQ(replay.laps(), 3u);
+    replay.reset();
+    EXPECT_EQ(replay.laps(), 0u);
+}
+
+TEST(Replay, EmptyLoopTerminates)
+{
+    ReplaySource replay({}, true);
+    MemRef ref;
+    EXPECT_FALSE(replay.next(ref));
+}
+
+TEST(Replay, IdenticalCacheOutcomesAcrossReplays)
+{
+    // Record a real workload window, replay it twice against two
+    // identical SIPT caches: stats must match bit-for-bit.
+    os::BuddyAllocator buddy((1ull << 30) / pageSize);
+    os::AddressSpace as(buddy, os::PagingPolicy{}, 3);
+    workload::SyntheticWorkload wl(
+        workload::appProfile("povray"), as, 4);
+    RecordingSource rec(wl);
+    MemRef ref;
+    for (int i = 0; i < 20000; ++i)
+        rec.next(ref);
+    const auto trace = rec.takeTrace();
+
+    auto run = [&](const std::vector<MemRef> &t) {
+        dram::Dram dram;
+        cache::TimingCacheParams lp;
+        lp.geometry.sizeBytes = 1 << 20;
+        lp.geometry.assoc = 16;
+        cache::TimingCache llc(lp);
+        cache::BelowL1 below(nullptr, llc, dram);
+        L1Params p;
+        p.geometry.sizeBytes = 32 * 1024;
+        p.geometry.assoc = 2;
+        p.hitLatency = 2;
+        p.policy = IndexingPolicy::SiptCombined;
+        SiptL1Cache l1(p, below);
+        vm::Mmu mmu;
+        ReplaySource src(t);
+        MemRef r;
+        Cycles now = 0;
+        while (src.next(r)) {
+            const auto xlat =
+                mmu.translate(r.vaddr, as.pageTable());
+            l1.access(r, xlat, now);
+            now += 3;
+        }
+        return l1.stats();
+    };
+
+    const auto a = run(trace);
+    const auto b = run(trace);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.fastAccesses, b.fastAccesses);
+    EXPECT_EQ(a.spec.idbHit, b.spec.idbHit);
+    EXPECT_EQ(a.extraArrayAccesses, b.extraArrayAccesses);
+}
+
+} // namespace
+} // namespace sipt::cpu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the CSV result export.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+
+namespace sipt::sim
+{
+namespace
+{
+
+ResultRow
+sampleRow()
+{
+    ResultRow row;
+    row.experiment = "fig13";
+    row.config = "32K2w/combined";
+    row.result.app = "mcf";
+    row.result.ipc = 1.25;
+    row.result.instructions = 1000;
+    row.result.l1.accesses = 300;
+    row.result.l1.hits = 200;
+    row.result.l1.misses = 100;
+    row.result.l1.spec.idbHit = 42;
+    row.result.energy.l1Dynamic = 10.0;
+    row.result.energy.l1Static = 5.0;
+    return row;
+}
+
+TEST(Report, HeaderAndRowFieldCountsMatch)
+{
+    std::ostringstream os;
+    writeCsv(os, {sampleRow()});
+    std::istringstream in(os.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    const auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+TEST(Report, ValuesAppearInOrder)
+{
+    std::ostringstream os;
+    writeCsvRow(os, sampleRow());
+    const std::string row = os.str();
+    EXPECT_NE(row.find("fig13,32K2w/combined,mcf,1.25"),
+              std::string::npos);
+    EXPECT_NE(row.find(",42,"), std::string::npos); // idb_hit
+    EXPECT_NE(row.find(",15,"), std::string::npos); // energy
+}
+
+TEST(Report, CommaInLabelIsFatal)
+{
+    auto row = sampleRow();
+    row.config = "a,b";
+    std::ostringstream os;
+    EXPECT_EXIT(writeCsvRow(os, row),
+                ::testing::ExitedWithCode(1), "comma");
+}
+
+TEST(Report, MultipleRows)
+{
+    std::ostringstream os;
+    writeCsv(os, {sampleRow(), sampleRow(), sampleRow()});
+    const std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+} // namespace
+} // namespace sipt::sim

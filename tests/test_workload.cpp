@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the application profiles and the synthetic workload
+ * generator: registry completeness, access-mix statistics,
+ * region containment, allocation-phase behaviour, and the
+ * VA->PA delta classes the profiles are designed to produce.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "workload/profile.hh"
+#include "workload/synthetic.hh"
+
+namespace sipt::workload
+{
+namespace
+{
+
+constexpr std::uint64_t frames = (4ull << 30) / pageSize;
+
+TEST(Profiles, FigureAppsAllResolve)
+{
+    EXPECT_EQ(figureApps().size(), 26u);
+    for (const auto &name : figureApps()) {
+        const auto &p = appProfile(name);
+        EXPECT_EQ(p.name, name);
+    }
+}
+
+TEST(Profiles, AllAppsIncludeMixOnlyOnes)
+{
+    EXPECT_GE(allApps().size(), 33u);
+    EXPECT_NO_FATAL_FAILURE(appProfile("astar"));
+    EXPECT_NO_FATAL_FAILURE(appProfile("soplex"));
+}
+
+TEST(Profiles, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(appProfile("doom"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Profiles, MixesMatchTableIII)
+{
+    const auto &mixes = multicoreMixes();
+    ASSERT_EQ(mixes.size(), 11u);
+    for (const auto &mix : mixes) {
+        ASSERT_EQ(mix.size(), 4u);
+        for (const auto &app : mix)
+            EXPECT_NO_FATAL_FAILURE(appProfile(app));
+    }
+    // Spot-check two rows against the paper's table.
+    EXPECT_EQ(mixes[0][0], "h264ref");
+    EXPECT_EQ(mixes[8][0], "graph500");
+    // Every single-core app appears at least once.
+    std::set<std::string> used;
+    for (const auto &mix : mixes)
+        used.insert(mix.begin(), mix.end());
+    for (const auto &app : {"mcf", "libquantum", "ycsb",
+                            "xalancbmk_17", "xz_17"}) {
+        EXPECT_TRUE(used.count(app)) << app;
+    }
+}
+
+TEST(Profiles, MixFractionsAreSane)
+{
+    for (const auto &name : allApps()) {
+        const auto &p = appProfile(name);
+        EXPECT_GE(p.chaseFrac, 0.0) << name;
+        EXPECT_GE(p.hotFrac, 0.0) << name;
+        EXPECT_LE(p.chaseFrac + p.hotFrac, 1.0) << name;
+        EXPECT_GT(p.memRatio, 0.0) << name;
+        EXPECT_LE(p.memRatio, 1.0) << name;
+        EXPECT_GE(p.footprintBytes, p.hotBytes) << name;
+        EXPECT_GT(p.numRegions, 0u) << name;
+        EXPECT_GT(p.chaseChains, 0u) << name;
+    }
+}
+
+class WorkloadFixture : public ::testing::Test
+{
+  protected:
+    void
+    build(const std::string &app)
+    {
+        // Tear down in dependency order before re-building: the
+        // address space frees into the allocator on destruction.
+        wl.reset();
+        as.reset();
+        buddy.reset();
+        buddy = std::make_unique<os::BuddyAllocator>(frames);
+        os::PagingPolicy pol;
+        pol.thpChance = appProfile(app).thpAffinity;
+        as = std::make_unique<os::AddressSpace>(*buddy, pol, 7);
+        wl = std::make_unique<SyntheticWorkload>(
+            appProfile(app), *as, 8);
+    }
+
+    std::unique_ptr<os::BuddyAllocator> buddy;
+    std::unique_ptr<os::AddressSpace> as;
+    std::unique_ptr<SyntheticWorkload> wl;
+};
+
+TEST_F(WorkloadFixture, AllocationPhaseMapsFootprint)
+{
+    build("povray"); // 8 MiB: quick
+    const auto &pt = as->pageTable();
+    const std::uint64_t mapped =
+        pt.smallPageCount() * pageSize +
+        pt.hugePageCount() * hugePageSize;
+    EXPECT_GE(mapped, appProfile("povray").footprintBytes);
+}
+
+TEST_F(WorkloadFixture, EveryReferenceIsMapped)
+{
+    build("gobmk");
+    MemRef ref;
+    for (int i = 0; i < 50000; ++i) {
+        wl->next(ref);
+        ASSERT_TRUE(as->pageTable().isMapped(ref.vaddr))
+            << "unmapped va " << ref.vaddr;
+    }
+}
+
+TEST_F(WorkloadFixture, MemRatioMatchesProfile)
+{
+    build("hmmer");
+    const auto &p = appProfile("hmmer");
+    MemRef ref;
+    std::uint64_t insts = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        wl->next(ref);
+        insts += ref.nonMemBefore + 1;
+    }
+    const double ratio =
+        static_cast<double>(n) / static_cast<double>(insts);
+    EXPECT_NEAR(ratio, p.memRatio, 0.03);
+}
+
+TEST_F(WorkloadFixture, AccessMixMatchesProfile)
+{
+    build("mcf");
+    const auto &p = appProfile("mcf");
+    MemRef ref;
+    const int n = 60000;
+    int chase = 0, stores = 0;
+    for (int i = 0; i < n; ++i) {
+        wl->next(ref);
+        chase += (ref.dependsOnPrev && ref.chainTail == 1);
+        stores += (ref.op == MemOp::Store);
+    }
+    // Same-object bursts (30% of references) dilute the pattern
+    // mix; the chase share of fresh picks is chaseFrac.
+    EXPECT_NEAR(chase / double(n), 0.7 * p.chaseFrac, 0.02);
+    EXPECT_GT(stores, 0);
+}
+
+TEST_F(WorkloadFixture, ChaseChainIdsWithinProfile)
+{
+    build("graph500");
+    const auto &p = appProfile("graph500");
+    MemRef ref;
+    for (int i = 0; i < 20000; ++i) {
+        wl->next(ref);
+        if (ref.dependsOnPrev && ref.chainTail == 1) {
+            EXPECT_LT(ref.chainId, p.chaseChains);
+        }
+    }
+}
+
+TEST_F(WorkloadFixture, PcsComeFromConfiguredPools)
+{
+    build("povray");
+    const auto &p = appProfile("povray");
+    std::set<Addr> pcs;
+    MemRef ref;
+    for (int i = 0; i < 20000; ++i) {
+        wl->next(ref);
+        pcs.insert(ref.pc);
+    }
+    EXPECT_LE(pcs.size(), 3u * p.pcsPerPattern);
+    EXPECT_GT(pcs.size(), p.pcsPerPattern);
+}
+
+TEST_F(WorkloadFixture, HugeCoverageTracksAffinity)
+{
+    build("libquantum"); // thpAffinity 0.95, aligned regions
+    EXPECT_GT(wl->hugeCoverage(), 0.8);
+    build("cactusADM"); // thpAffinity 0.05
+    EXPECT_LT(wl->hugeCoverage(), 0.3);
+}
+
+TEST_F(WorkloadFixture, MisalignedProfileHasConstantNonzeroDelta)
+{
+    // The "naive-hostile, IDB-friendly" class: deltas mostly
+    // constant per page run but != 0 mod 2^k.
+    build("calculix");
+    MemRef ref;
+    std::uint64_t unchanged2 = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        wl->next(ref);
+        const Vpn vpn = ref.vaddr >> pageShift;
+        const auto xlat = as->pageTable().translate(ref.vaddr);
+        const Pfn pfn = xlat->paddr >> pageShift;
+        unchanged2 += ((vpn & 3) == (pfn & 3));
+    }
+    EXPECT_LT(unchanged2 / double(n), 0.5);
+}
+
+TEST_F(WorkloadFixture, GeneratorIsDeterministic)
+{
+    build("gobmk");
+    std::vector<Addr> first;
+    MemRef ref;
+    for (int i = 0; i < 1000; ++i) {
+        wl->next(ref);
+        first.push_back(ref.vaddr);
+    }
+    build("gobmk"); // fresh identical construction
+    for (int i = 0; i < 1000; ++i) {
+        wl->next(ref);
+        EXPECT_EQ(ref.vaddr, first[static_cast<size_t>(i)]);
+    }
+}
+
+} // namespace
+} // namespace sipt::workload
