@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_contiguity.dir/bench_ablation_contiguity.cpp.o"
+  "CMakeFiles/bench_ablation_contiguity.dir/bench_ablation_contiguity.cpp.o.d"
+  "bench_ablation_contiguity"
+  "bench_ablation_contiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_contiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_ideal_ipc_ooo.dir/bench_fig02_ideal_ipc_ooo.cpp.o"
+  "CMakeFiles/bench_fig02_ideal_ipc_ooo.dir/bench_fig02_ideal_ipc_ooo.cpp.o.d"
+  "bench_fig02_ideal_ipc_ooo"
+  "bench_fig02_ideal_ipc_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_ideal_ipc_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_ideal_ipc_ooo.
+# This may be replaced when dependencies are built.

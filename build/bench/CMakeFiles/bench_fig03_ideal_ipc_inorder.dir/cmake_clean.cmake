@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_ideal_ipc_inorder.dir/bench_fig03_ideal_ipc_inorder.cpp.o"
+  "CMakeFiles/bench_fig03_ideal_ipc_inorder.dir/bench_fig03_ideal_ipc_inorder.cpp.o.d"
+  "bench_fig03_ideal_ipc_inorder"
+  "bench_fig03_ideal_ipc_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ideal_ipc_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_speculation.dir/bench_fig05_speculation.cpp.o"
+  "CMakeFiles/bench_fig05_speculation.dir/bench_fig05_speculation.cpp.o.d"
+  "bench_fig05_speculation"
+  "bench_fig05_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

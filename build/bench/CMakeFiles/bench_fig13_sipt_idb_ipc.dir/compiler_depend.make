@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_sipt_idb_ipc.
+# This may be replaced when dependencies are built.

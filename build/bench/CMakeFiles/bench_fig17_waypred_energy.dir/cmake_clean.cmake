@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_waypred_energy.dir/bench_fig17_waypred_energy.cpp.o"
+  "CMakeFiles/bench_fig17_waypred_energy.dir/bench_fig17_waypred_energy.cpp.o.d"
+  "bench_fig17_waypred_energy"
+  "bench_fig17_waypred_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_waypred_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

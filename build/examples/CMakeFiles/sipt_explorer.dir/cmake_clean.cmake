@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_explorer.dir/sipt_explorer.cpp.o"
+  "CMakeFiles/sipt_explorer.dir/sipt_explorer.cpp.o.d"
+  "sipt_explorer"
+  "sipt_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

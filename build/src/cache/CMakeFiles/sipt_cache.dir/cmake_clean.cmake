@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_cache.dir/cache_array.cc.o"
+  "CMakeFiles/sipt_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/sipt_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/sipt_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sipt_cache.dir/timing_cache.cc.o"
+  "CMakeFiles/sipt_cache.dir/timing_cache.cc.o.d"
+  "libsipt_cache.a"
+  "libsipt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_common.dir/logging.cc.o"
+  "CMakeFiles/sipt_common.dir/logging.cc.o.d"
+  "CMakeFiles/sipt_common.dir/stats.cc.o"
+  "CMakeFiles/sipt_common.dir/stats.cc.o.d"
+  "CMakeFiles/sipt_common.dir/table.cc.o"
+  "CMakeFiles/sipt_common.dir/table.cc.o.d"
+  "libsipt_common.a"
+  "libsipt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_cpu.dir/core.cc.o"
+  "CMakeFiles/sipt_cpu.dir/core.cc.o.d"
+  "libsipt_cpu.a"
+  "libsipt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_dram.dir/dram.cc.o"
+  "CMakeFiles/sipt_dram.dir/dram.cc.o.d"
+  "libsipt_dram.a"
+  "libsipt_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_energy.dir/accounting.cc.o"
+  "CMakeFiles/sipt_energy.dir/accounting.cc.o.d"
+  "CMakeFiles/sipt_energy.dir/cacti_model.cc.o"
+  "CMakeFiles/sipt_energy.dir/cacti_model.cc.o.d"
+  "libsipt_energy.a"
+  "libsipt_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cc" "src/os/CMakeFiles/sipt_os.dir/address_space.cc.o" "gcc" "src/os/CMakeFiles/sipt_os.dir/address_space.cc.o.d"
+  "/root/repo/src/os/buddy_allocator.cc" "src/os/CMakeFiles/sipt_os.dir/buddy_allocator.cc.o" "gcc" "src/os/CMakeFiles/sipt_os.dir/buddy_allocator.cc.o.d"
+  "/root/repo/src/os/fragmenter.cc" "src/os/CMakeFiles/sipt_os.dir/fragmenter.cc.o" "gcc" "src/os/CMakeFiles/sipt_os.dir/fragmenter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sipt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sipt_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

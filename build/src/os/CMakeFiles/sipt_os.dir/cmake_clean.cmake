@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_os.dir/address_space.cc.o"
+  "CMakeFiles/sipt_os.dir/address_space.cc.o.d"
+  "CMakeFiles/sipt_os.dir/buddy_allocator.cc.o"
+  "CMakeFiles/sipt_os.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/sipt_os.dir/fragmenter.cc.o"
+  "CMakeFiles/sipt_os.dir/fragmenter.cc.o.d"
+  "libsipt_os.a"
+  "libsipt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

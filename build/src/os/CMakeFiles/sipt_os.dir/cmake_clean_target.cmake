@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsipt_os.a"
+)

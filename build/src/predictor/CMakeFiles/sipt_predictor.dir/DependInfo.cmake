@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/combined.cc" "src/predictor/CMakeFiles/sipt_predictor.dir/combined.cc.o" "gcc" "src/predictor/CMakeFiles/sipt_predictor.dir/combined.cc.o.d"
+  "/root/repo/src/predictor/counter.cc" "src/predictor/CMakeFiles/sipt_predictor.dir/counter.cc.o" "gcc" "src/predictor/CMakeFiles/sipt_predictor.dir/counter.cc.o.d"
+  "/root/repo/src/predictor/idb.cc" "src/predictor/CMakeFiles/sipt_predictor.dir/idb.cc.o" "gcc" "src/predictor/CMakeFiles/sipt_predictor.dir/idb.cc.o.d"
+  "/root/repo/src/predictor/perceptron.cc" "src/predictor/CMakeFiles/sipt_predictor.dir/perceptron.cc.o" "gcc" "src/predictor/CMakeFiles/sipt_predictor.dir/perceptron.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sipt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

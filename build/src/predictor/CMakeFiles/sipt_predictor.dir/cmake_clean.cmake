@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_predictor.dir/combined.cc.o"
+  "CMakeFiles/sipt_predictor.dir/combined.cc.o.d"
+  "CMakeFiles/sipt_predictor.dir/counter.cc.o"
+  "CMakeFiles/sipt_predictor.dir/counter.cc.o.d"
+  "CMakeFiles/sipt_predictor.dir/idb.cc.o"
+  "CMakeFiles/sipt_predictor.dir/idb.cc.o.d"
+  "CMakeFiles/sipt_predictor.dir/perceptron.cc.o"
+  "CMakeFiles/sipt_predictor.dir/perceptron.cc.o.d"
+  "libsipt_predictor.a"
+  "libsipt_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

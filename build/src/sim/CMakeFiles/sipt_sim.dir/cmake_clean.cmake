@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_sim.dir/presets.cc.o"
+  "CMakeFiles/sipt_sim.dir/presets.cc.o.d"
+  "CMakeFiles/sipt_sim.dir/report.cc.o"
+  "CMakeFiles/sipt_sim.dir/report.cc.o.d"
+  "CMakeFiles/sipt_sim.dir/system.cc.o"
+  "CMakeFiles/sipt_sim.dir/system.cc.o.d"
+  "libsipt_sim.a"
+  "libsipt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sipt/l1_cache.cc" "src/sipt/CMakeFiles/sipt_core.dir/l1_cache.cc.o" "gcc" "src/sipt/CMakeFiles/sipt_core.dir/l1_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sipt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sipt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/sipt_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sipt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/sipt_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_core.dir/l1_cache.cc.o"
+  "CMakeFiles/sipt_core.dir/l1_cache.cc.o.d"
+  "libsipt_core.a"
+  "libsipt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_vm.dir/mmu.cc.o"
+  "CMakeFiles/sipt_vm.dir/mmu.cc.o.d"
+  "CMakeFiles/sipt_vm.dir/page_table.cc.o"
+  "CMakeFiles/sipt_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/sipt_vm.dir/page_walker.cc.o"
+  "CMakeFiles/sipt_vm.dir/page_walker.cc.o.d"
+  "CMakeFiles/sipt_vm.dir/tlb.cc.o"
+  "CMakeFiles/sipt_vm.dir/tlb.cc.o.d"
+  "libsipt_vm.a"
+  "libsipt_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/instruction_stream.cc" "src/workload/CMakeFiles/sipt_workload.dir/instruction_stream.cc.o" "gcc" "src/workload/CMakeFiles/sipt_workload.dir/instruction_stream.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/sipt_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/sipt_workload.dir/profile.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/sipt_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/sipt_workload.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sipt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/sipt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sipt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sipt_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sipt_workload.dir/instruction_stream.cc.o"
+  "CMakeFiles/sipt_workload.dir/instruction_stream.cc.o.d"
+  "CMakeFiles/sipt_workload.dir/profile.cc.o"
+  "CMakeFiles/sipt_workload.dir/profile.cc.o.d"
+  "CMakeFiles/sipt_workload.dir/synthetic.cc.o"
+  "CMakeFiles/sipt_workload.dir/synthetic.cc.o.d"
+  "libsipt_workload.a"
+  "libsipt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sipt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

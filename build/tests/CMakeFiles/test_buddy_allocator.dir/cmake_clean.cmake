@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buddy_allocator.dir/test_buddy_allocator.cpp.o"
+  "CMakeFiles/test_buddy_allocator.dir/test_buddy_allocator.cpp.o.d"
+  "test_buddy_allocator"
+  "test_buddy_allocator.pdb"
+  "test_buddy_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buddy_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instruction_stream.dir/test_instruction_stream.cpp.o"
+  "CMakeFiles/test_instruction_stream.dir/test_instruction_stream.cpp.o.d"
+  "test_instruction_stream"
+  "test_instruction_stream.pdb"
+  "test_instruction_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instruction_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1_cache.dir/test_l1_cache.cpp.o"
+  "CMakeFiles/test_l1_cache.dir/test_l1_cache.cpp.o.d"
+  "test_l1_cache"
+  "test_l1_cache.pdb"
+  "test_l1_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

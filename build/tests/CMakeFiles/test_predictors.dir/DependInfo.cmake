@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_predictors.cpp" "tests/CMakeFiles/test_predictors.dir/test_predictors.cpp.o" "gcc" "tests/CMakeFiles/test_predictors.dir/test_predictors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sipt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sipt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/sipt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/sipt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sipt_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sipt/CMakeFiles/sipt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sipt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sipt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/sipt_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/sipt_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sipt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sipt_properties.dir/test_sipt_properties.cpp.o"
+  "CMakeFiles/test_sipt_properties.dir/test_sipt_properties.cpp.o.d"
+  "test_sipt_properties"
+  "test_sipt_properties.pdb"
+  "test_sipt_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sipt_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

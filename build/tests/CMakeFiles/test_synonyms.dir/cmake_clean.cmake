@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synonyms.dir/test_synonyms.cpp.o"
+  "CMakeFiles/test_synonyms.dir/test_synonyms.cpp.o.d"
+  "test_synonyms"
+  "test_synonyms.pdb"
+  "test_synonyms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synonyms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
