@@ -73,15 +73,6 @@ main()
     const std::uint64_t refs = bench::measureRefs() / 2;
     TextTable t({"substrate", "unchanged-bits", "combined fast"});
 
-    auto row = [&](const char *name, unsigned max_order,
-                   os::PagingPolicy pol) {
-        const Sample s = run("gcc", max_order, pol, refs);
-        t.beginRow();
-        t.add(name);
-        t.add(s.unchanged, 3);
-        t.add(s.fast, 3);
-    };
-
     os::PagingPolicy thp;
     thp.thpChance = 0.9;
     os::PagingPolicy no_thp;
@@ -91,13 +82,38 @@ main()
     os::PagingPolicy random = no_thp;
     random.randomPlacement = true;
 
-    row("buddy order 10 + THP 90%", 10, thp);
-    row("buddy order 10, THP off", 10, no_thp);
-    row("buddy order 4, THP off", 4, no_thp);
-    row("buddy order 0 (no grouping)", 0, no_thp);
-    row("page coloring (3 bits)", 10, colored);
-    row("random placement", 10, random);
+    // Each substrate is a self-contained run; submit them all to
+    // the engine, then print in submission order.
+    struct Variant
+    {
+        const char *name;
+        unsigned maxOrder;
+        os::PagingPolicy pol;
+    };
+    const std::vector<Variant> variants = {
+        {"buddy order 10 + THP 90%", 10, thp},
+        {"buddy order 10, THP off", 10, no_thp},
+        {"buddy order 4, THP off", 4, no_thp},
+        {"buddy order 0 (no grouping)", 0, no_thp},
+        {"page coloring (3 bits)", 10, colored},
+        {"random placement", 10, random},
+    };
+    std::vector<std::shared_future<Sample>> rows;
+    for (const auto &v : variants) {
+        rows.push_back(bench::sweep().async([v, refs] {
+            return run("gcc", v.maxOrder, v.pol, refs);
+        }));
+    }
+
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Sample s = rows[i].get();
+        t.beginRow();
+        t.add(variants[i].name);
+        t.add(s.unchanged, 3);
+        t.add(s.fast, 3);
+    }
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nShape: contiguity (high buddy order, THP) "
                  "and coloring raise raw unchanged-bit rates; "

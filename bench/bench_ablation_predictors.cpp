@@ -55,62 +55,82 @@ main()
                  "combined fast"});
     std::vector<double> c_v, p_v, pl_v, bf_v, cf_v;
 
-    for (const auto &app : bench::sensitivityApps()) {
-        bench::TraceLab lab(app);
-        predictor::CounterBypassPredictor counter;
-        predictor::PerceptronBypassPredictor small_perc;
-        predictor::PerceptronBypassPredictor large_perc(
-            predictor::PerceptronParams{256, 24, 6, -1});
-        predictor::CombinedIndexPredictor combined(specBits);
+    // One predictor-comparison task per app on the engine pool.
+    struct Row
+    {
+        double counter, small, large, bypassFast, combinedFast;
+    };
+    const auto app_list = bench::sensitivityApps();
+    std::vector<std::shared_future<Row>> rows;
+    for (const auto &app : app_list) {
+        rows.push_back(bench::sweep().async([app, refs] {
+            bench::TraceLab lab(app);
+            predictor::CounterBypassPredictor counter;
+            predictor::PerceptronBypassPredictor small_perc;
+            predictor::PerceptronBypassPredictor large_perc(
+                predictor::PerceptronParams{256, 24, 6, -1});
+            predictor::CombinedIndexPredictor combined(specBits);
 
-        Acc a_counter, a_small, a_large;
-        std::uint64_t bypass_fast = 0, combined_fast = 0;
+            Acc a_counter, a_small, a_large;
+            std::uint64_t bypass_fast = 0, combined_fast = 0;
 
-        MemRef ref;
-        for (std::uint64_t i = 0; i < refs; ++i) {
-            lab.workload.next(ref);
-            const Vpn vpn = ref.vaddr >> pageShift;
-            const Pfn pfn = lab.pfnOf(ref.vaddr);
-            const bool unchanged =
-                (vpn & mask(specBits)) == (pfn & mask(specBits));
+            MemRef ref;
+            for (std::uint64_t i = 0; i < refs; ++i) {
+                lab.workload.next(ref);
+                const Vpn vpn = ref.vaddr >> pageShift;
+                const Pfn pfn = lab.pfnOf(ref.vaddr);
+                const bool unchanged =
+                    (vpn & mask(specBits)) ==
+                    (pfn & mask(specBits));
 
-            const bool c = counter.predictSpeculate(ref.pc);
-            const bool s = small_perc.predictSpeculate(ref.pc);
-            const bool l = large_perc.predictSpeculate(ref.pc);
-            a_counter.correct += (c == unchanged);
-            a_small.correct += (s == unchanged);
-            a_large.correct += (l == unchanged);
-            ++a_counter.total;
-            ++a_small.total;
-            ++a_large.total;
-            // Bypass-only is fast only on correct speculation.
-            bypass_fast += (s && unchanged);
+                const bool c = counter.predictSpeculate(ref.pc);
+                const bool s =
+                    small_perc.predictSpeculate(ref.pc);
+                const bool l =
+                    large_perc.predictSpeculate(ref.pc);
+                a_counter.correct += (c == unchanged);
+                a_small.correct += (s == unchanged);
+                a_large.correct += (l == unchanged);
+                ++a_counter.total;
+                ++a_small.total;
+                ++a_large.total;
+                // Bypass-only is fast only on correct
+                // speculation.
+                bypass_fast += (s && unchanged);
 
-            const auto pred = combined.predict(ref.pc, vpn);
-            combined_fast += (pred.bits ==
-                              (pfn & mask(specBits)));
+                const auto pred = combined.predict(ref.pc, vpn);
+                combined_fast += (pred.bits ==
+                                  (pfn & mask(specBits)));
 
-            counter.train(ref.pc, unchanged);
-            small_perc.train(ref.pc, unchanged);
-            large_perc.train(ref.pc, unchanged);
-            combined.update(ref.pc, vpn, pfn);
-        }
-        const auto frac = [&](std::uint64_t n) {
-            return static_cast<double>(n) /
-                   static_cast<double>(refs);
-        };
+                counter.train(ref.pc, unchanged);
+                small_perc.train(ref.pc, unchanged);
+                large_perc.train(ref.pc, unchanged);
+                combined.update(ref.pc, vpn, pfn);
+            }
+            const auto frac = [&](std::uint64_t n) {
+                return static_cast<double>(n) /
+                       static_cast<double>(refs);
+            };
+            return Row{a_counter.rate(), a_small.rate(),
+                       a_large.rate(), frac(bypass_fast),
+                       frac(combined_fast)};
+        }));
+    }
+
+    for (std::size_t a = 0; a < app_list.size(); ++a) {
+        const Row row = rows[a].get();
         t.beginRow();
-        t.add(app);
-        t.add(a_counter.rate(), 3);
-        t.add(a_small.rate(), 3);
-        t.add(a_large.rate(), 3);
-        t.add(frac(bypass_fast), 3);
-        t.add(frac(combined_fast), 3);
-        c_v.push_back(a_counter.rate());
-        p_v.push_back(a_small.rate());
-        pl_v.push_back(a_large.rate());
-        bf_v.push_back(frac(bypass_fast));
-        cf_v.push_back(frac(combined_fast));
+        t.add(app_list[a]);
+        t.add(row.counter, 3);
+        t.add(row.small, 3);
+        t.add(row.large, 3);
+        t.add(row.bypassFast, 3);
+        t.add(row.combinedFast, 3);
+        c_v.push_back(row.counter);
+        p_v.push_back(row.small);
+        pl_v.push_back(row.large);
+        bf_v.push_back(row.bypassFast);
+        cf_v.push_back(row.combinedFast);
     }
     t.beginRow();
     t.add("Mean");
@@ -120,6 +140,7 @@ main()
     t.add(arithmeticMean(bf_v), 3);
     t.add(arithmeticMean(cf_v), 3);
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nPaper shape: counters ~85% and inconsistent; "
                  "perceptron >90% and insensitive to size; the "

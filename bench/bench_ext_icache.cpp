@@ -40,71 +40,94 @@ main()
     // Two SIPT-I predictor-indexing choices: raw fetch-chunk
     // address (the D-side analogue — aliases badly because hot
     // code has thousands of chunks) and fetch *page* (deltas are
-    // per-page properties, and the hot page set is tiny).
+    // per-page properties, and the hot page set is tiny). Each
+    // (indexing, profile) cell is a self-contained simulation;
+    // submit all four to the engine, then print in order.
+    struct Row
+    {
+        std::string profile;
+        double itlbHit, unchanged2, fast, hit, extra;
+    };
+    std::vector<std::shared_future<Row>> rows;
+    std::vector<bool> row_page_indexed;
     for (const bool page_indexed : {false, true}) {
     for (const auto &profile :
          {workload::smallCodeProfile(),
           workload::largeCodeProfile()}) {
-        os::BuddyAllocator buddy((4ull << 30) / pageSize);
-        Rng rng(21);
-        os::SystemAger ager(buddy);
-        ager.age(20'000, 0.22, rng);
-        os::PagingPolicy pol;
-        pol.thpChance = profile.thpAffinity;
-        os::AddressSpace as(buddy, pol, 22);
-        workload::InstructionStream fetch(profile, as, 23);
+        row_page_indexed.push_back(page_indexed);
+        rows.push_back(bench::sweep().async(
+            [page_indexed, profile, refs] {
+            os::BuddyAllocator buddy((4ull << 30) / pageSize);
+            Rng rng(21);
+            os::SystemAger ager(buddy);
+            ager.age(20'000, 0.22, rng);
+            os::PagingPolicy pol;
+            pol.thpChance = profile.thpAffinity;
+            os::AddressSpace as(buddy, pol, 22);
+            workload::InstructionStream fetch(profile, as, 23);
 
-        vm::Mmu mmu;
-        dram::Dram dram;
-        cache::TimingCache llc(sim::llcPreset(true, 1));
-        const auto l2 = sim::l2Preset();
-        cache::BelowL1 below(&l2, llc, dram);
-        L1Params p =
-            sim::l1Preset(sim::L1Config::Sipt32K2,
-                          IndexingPolicy::SiptCombined);
-        p.name = "L1I";
-        SiptL1Cache l1i(p, below);
+            vm::Mmu mmu;
+            dram::Dram dram;
+            cache::TimingCache llc(sim::llcPreset(true, 1));
+            const auto l2 = sim::l2Preset();
+            cache::BelowL1 below(&l2, llc, dram);
+            L1Params p =
+                sim::l1Preset(sim::L1Config::Sipt32K2,
+                              IndexingPolicy::SiptCombined);
+            p.name = "L1I";
+            SiptL1Cache l1i(p, below);
 
-        std::uint64_t unchanged2 = 0;
-        MemRef ref;
-        Cycles now = 0;
-        for (std::uint64_t i = 0; i < refs; ++i) {
-            fetch.next(ref);
-            if (page_indexed)
-                ref.pc = (ref.vaddr >> pageShift) << 2;
-            const auto xlat =
-                mmu.translate(ref.vaddr, as.pageTable());
-            const Vpn vpn = ref.vaddr >> pageShift;
-            const Pfn pfn = xlat.paddr >> pageShift;
-            unchanged2 +=
-                ((vpn & mask(2)) == (pfn & mask(2)));
-            l1i.access(ref, xlat, now);
-            now += 2;
-        }
+            std::uint64_t unchanged2 = 0;
+            MemRef ref;
+            Cycles now = 0;
+            for (std::uint64_t i = 0; i < refs; ++i) {
+                fetch.next(ref);
+                if (page_indexed)
+                    ref.pc = (ref.vaddr >> pageShift) << 2;
+                const auto xlat =
+                    mmu.translate(ref.vaddr, as.pageTable());
+                const Vpn vpn = ref.vaddr >> pageShift;
+                const Pfn pfn = xlat.paddr >> pageShift;
+                unchanged2 +=
+                    ((vpn & mask(2)) == (pfn & mask(2)));
+                l1i.access(ref, xlat, now);
+                now += 2;
+            }
 
-        const auto &small = mmu.l1Small();
-        const auto &huge = mmu.l1Huge();
-        const double itlb_hit =
-            static_cast<double>(small.hits() + huge.hits()) /
-            static_cast<double>(small.hits() + small.misses() +
-                                huge.hits() + huge.misses());
+            const auto &small = mmu.l1Small();
+            const auto &huge = mmu.l1Huge();
+            const double itlb_hit =
+                static_cast<double>(small.hits() +
+                                    huge.hits()) /
+                static_cast<double>(
+                    small.hits() + small.misses() +
+                    huge.hits() + huge.misses());
 
-        t.beginRow();
-        t.add(profile.name);
-        t.add(page_indexed ? "fetch-page" : "fetch-chunk");
-        t.add(itlb_hit, 4);
-        t.add(static_cast<double>(unchanged2) /
-                  static_cast<double>(refs),
-              3);
-        t.add(l1i.fastFraction(), 3);
-        t.add(l1i.hitRate(), 3);
-        t.add(static_cast<double>(
-                  l1i.stats().extraArrayAccesses) /
-                  static_cast<double>(refs),
-              4);
+            return Row{profile.name, itlb_hit,
+                       static_cast<double>(unchanged2) /
+                           static_cast<double>(refs),
+                       l1i.fastFraction(), l1i.hitRate(),
+                       static_cast<double>(
+                           l1i.stats().extraArrayAccesses) /
+                           static_cast<double>(refs)};
+        }));
     }
+    }
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row row = rows[i].get();
+        t.beginRow();
+        t.add(row.profile);
+        t.add(row_page_indexed[i] ? "fetch-page"
+                                  : "fetch-chunk");
+        t.add(row.itlbHit, 4);
+        t.add(row.unchanged2, 3);
+        t.add(row.fast, 3);
+        t.add(row.hit, 3);
+        t.add(row.extra, 4);
     }
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nHypothesis check: fast fractions should be "
                  "at or above the D-side Fig. 12 average "

@@ -34,19 +34,32 @@ main()
                  "128K4w"});
     std::map<std::size_t, std::vector<double>> speedups;
 
+    // Submit every run up front; the engine parallelises and
+    // memoizes, and we fetch in submission order below.
+    std::vector<bench::RunFuture> base_f;
+    std::vector<std::vector<bench::RunFuture>> cfg_f;
     for (const auto &app : bench::apps()) {
         sim::SystemConfig base;
         base.outOfOrder = true;
         base.measureRefs = bench::measureRefs();
-        const auto r_base = sim::runSingleCore(app, base);
+        base_f.push_back(bench::sweep().enqueue(app, base));
 
-        t.beginRow();
-        t.add(app);
-        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+        cfg_f.emplace_back();
+        for (const auto &[l1, policy] : cfgs) {
             sim::SystemConfig cfg = base;
-            cfg.l1Config = cfgs[c].first;
-            cfg.policy = cfgs[c].second;
-            const auto r = sim::runSingleCore(app, cfg);
+            cfg.l1Config = l1;
+            cfg.policy = policy;
+            cfg_f.back().push_back(
+                bench::sweep().enqueue(app, cfg));
+        }
+    }
+
+    for (std::size_t a = 0; a < bench::apps().size(); ++a) {
+        const auto r_base = base_f[a].get();
+        t.beginRow();
+        t.add(bench::apps()[a]);
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            const auto r = cfg_f[a][c].get();
             const double speedup = r.ipc / r_base.ipc;
             t.add(speedup, 3);
             speedups[c].push_back(speedup);
@@ -57,6 +70,7 @@ main()
     for (std::size_t c = 0; c < cfgs.size(); ++c)
         t.add(harmonicMean(speedups[c]), 3);
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nPaper shape: 32KiB 2-way (2-cycle) wins on "
                  "OOO, +8.2% average; 16KiB 4-way loses ~1.5% "

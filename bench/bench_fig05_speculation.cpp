@@ -9,6 +9,7 @@
  * alone; no cache model is involved.
  */
 
+#include <array>
 #include <iostream>
 
 #include "bench/bench_util.hh"
@@ -28,35 +29,53 @@ main()
                  "hugepage(9b)"});
     const std::uint64_t refs = bench::measureRefs();
 
-    std::vector<double> avg(4, 0.0);
+    // One self-contained trace analysis per app, run on the
+    // sweep engine's pool; rows print in submission order.
+    struct Row
+    {
+        std::array<double, 3> unchanged;
+        double huge;
+    };
+    std::vector<std::shared_future<Row>> rows;
     for (const auto &app : bench::apps()) {
-        bench::TraceLab lab(app);
-        std::uint64_t unchanged[3] = {0, 0, 0};
-        std::uint64_t huge_refs = 0;
-        MemRef ref;
-        for (std::uint64_t i = 0; i < refs; ++i) {
-            lab.workload.next(ref);
-            const Vpn vpn = ref.vaddr >> pageShift;
-            const Pfn pfn = lab.pfnOf(ref.vaddr);
-            for (unsigned k = 1; k <= 3; ++k) {
-                if ((vpn & mask(k)) == (pfn & mask(k)))
-                    ++unchanged[k - 1];
+        rows.push_back(bench::sweep().async([app, refs] {
+            bench::TraceLab lab(app);
+            std::uint64_t unchanged[3] = {0, 0, 0};
+            std::uint64_t huge_refs = 0;
+            MemRef ref;
+            for (std::uint64_t i = 0; i < refs; ++i) {
+                lab.workload.next(ref);
+                const Vpn vpn = ref.vaddr >> pageShift;
+                const Pfn pfn = lab.pfnOf(ref.vaddr);
+                for (unsigned k = 1; k <= 3; ++k) {
+                    if ((vpn & mask(k)) == (pfn & mask(k)))
+                        ++unchanged[k - 1];
+                }
+                if (lab.isHuge(ref.vaddr))
+                    ++huge_refs;
             }
-            if (lab.isHuge(ref.vaddr))
-                ++huge_refs;
-        }
+            Row row;
+            for (unsigned k = 0; k < 3; ++k)
+                row.unchanged[k] =
+                    static_cast<double>(unchanged[k]) /
+                    static_cast<double>(refs);
+            row.huge = static_cast<double>(huge_refs) /
+                       static_cast<double>(refs);
+            return row;
+        }));
+    }
+
+    std::vector<double> avg(4, 0.0);
+    for (std::size_t a = 0; a < bench::apps().size(); ++a) {
+        const Row row = rows[a].get();
         t.beginRow();
-        t.add(app);
+        t.add(bench::apps()[a]);
         for (unsigned k = 0; k < 3; ++k) {
-            const double f = static_cast<double>(unchanged[k]) /
-                             static_cast<double>(refs);
-            t.add(f, 3);
-            avg[k] += f;
+            t.add(row.unchanged[k], 3);
+            avg[k] += row.unchanged[k];
         }
-        const double hf = static_cast<double>(huge_refs) /
-                          static_cast<double>(refs);
-        t.add(hf, 3);
-        avg[3] += hf;
+        t.add(row.huge, 3);
+        avg[3] += row.huge;
     }
     t.beginRow();
     t.add("Average");
@@ -64,6 +83,7 @@ main()
         t.add(avg[k] / static_cast<double>(bench::apps().size()),
               3);
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nPaper shape: most apps speculate correctly "
                  "with 1 bit; accuracy decays with more bits; a "

@@ -29,50 +29,68 @@ main()
     TextTable t({"app", "bits", "correctSpec", "correctBypass",
                  "oppLoss", "extraAccess", "accuracy"});
 
-    std::vector<double> avg_acc(3, 0.0);
+    // One task per (app, bit count), so each analysis owns its
+    // address stream and predictor state never leaks across
+    // configurations — which also makes them trivially parallel.
+    struct Row
+    {
+        double cSpec, cByp, opp, extra, acc;
+    };
+    std::vector<std::shared_future<Row>> rows;
     for (const auto &app : bench::apps()) {
-        // One address stream per bit count so predictor state
-        // never leaks across configurations.
         for (unsigned k = 1; k <= 3; ++k) {
-            bench::TraceLab lab(app);
-            predictor::PerceptronBypassPredictor perceptron;
-            std::uint64_t c_spec = 0, c_byp = 0, opp = 0,
-                          extra = 0;
-            MemRef ref;
-            for (std::uint64_t i = 0; i < refs; ++i) {
-                lab.workload.next(ref);
-                const Vpn vpn = ref.vaddr >> pageShift;
-                const Pfn pfn = lab.pfnOf(ref.vaddr);
-                const bool unchanged =
-                    (vpn & mask(k)) == (pfn & mask(k));
-                const bool spec =
-                    perceptron.predictSpeculate(ref.pc);
-                if (spec && unchanged)
-                    ++c_spec;
-                else if (spec && !unchanged)
-                    ++extra;
-                else if (!spec && unchanged)
-                    ++opp;
-                else
-                    ++c_byp;
-                perceptron.train(ref.pc, unchanged);
-            }
-            const auto frac = [&](std::uint64_t n) {
-                return static_cast<double>(n) /
-                       static_cast<double>(refs);
-            };
+            rows.push_back(bench::sweep().async([app, k, refs] {
+                bench::TraceLab lab(app);
+                predictor::PerceptronBypassPredictor perceptron;
+                std::uint64_t c_spec = 0, c_byp = 0, opp = 0,
+                              extra = 0;
+                MemRef ref;
+                for (std::uint64_t i = 0; i < refs; ++i) {
+                    lab.workload.next(ref);
+                    const Vpn vpn = ref.vaddr >> pageShift;
+                    const Pfn pfn = lab.pfnOf(ref.vaddr);
+                    const bool unchanged =
+                        (vpn & mask(k)) == (pfn & mask(k));
+                    const bool spec =
+                        perceptron.predictSpeculate(ref.pc);
+                    if (spec && unchanged)
+                        ++c_spec;
+                    else if (spec && !unchanged)
+                        ++extra;
+                    else if (!spec && unchanged)
+                        ++opp;
+                    else
+                        ++c_byp;
+                    perceptron.train(ref.pc, unchanged);
+                }
+                const auto frac = [&](std::uint64_t n) {
+                    return static_cast<double>(n) /
+                           static_cast<double>(refs);
+                };
+                return Row{frac(c_spec), frac(c_byp), frac(opp),
+                           frac(extra), frac(c_spec + c_byp)};
+            }));
+        }
+    }
+
+    std::vector<double> avg_acc(3, 0.0);
+    std::size_t i = 0;
+    for (const auto &app : bench::apps()) {
+        for (unsigned k = 1; k <= 3; ++k) {
+            const Row row = rows[i++].get();
             t.beginRow();
             t.add(app);
             t.add(std::uint64_t{k});
-            t.add(frac(c_spec), 3);
-            t.add(frac(c_byp), 3);
-            t.add(frac(opp), 3);
-            t.add(frac(extra), 3);
-            t.add(frac(c_spec + c_byp), 3);
-            avg_acc[k - 1] += frac(c_spec + c_byp);
+            t.add(row.cSpec, 3);
+            t.add(row.cByp, 3);
+            t.add(row.opp, 3);
+            t.add(row.extra, 3);
+            t.add(row.acc, 3);
+            avg_acc[k - 1] += row.acc;
         }
     }
     t.print(std::cout);
+    bench::sweepFooter();
 
     const auto n = static_cast<double>(bench::apps().size());
     std::cout << "\nAverage accuracy: 1-bit "

@@ -28,47 +28,69 @@ main()
     TextTable t({"app", "bits", "correctSpec", "idbHit", "slow",
                  "fastTotal"});
 
-    std::vector<double> avg_fast(3, 0.0);
+    // One self-contained task per (app, bit count) on the sweep
+    // engine's pool; rows print in submission order.
+    struct Row
+    {
+        double cSpec, idbHit, slow, fast;
+    };
+    std::vector<std::shared_future<Row>> rows;
     for (const auto &app : bench::apps()) {
         for (unsigned k = 1; k <= 3; ++k) {
-            bench::TraceLab lab(app);
-            predictor::CombinedIndexPredictor combined(k);
-            std::uint64_t c_spec = 0, idb_hit = 0, slow = 0;
-            MemRef ref;
-            for (std::uint64_t i = 0; i < refs; ++i) {
-                lab.workload.next(ref);
-                const Vpn vpn = ref.vaddr >> pageShift;
-                const Pfn pfn = lab.pfnOf(ref.vaddr);
-                const auto pa_bits = static_cast<std::uint32_t>(
-                    pfn & mask(k));
-                const auto pred = combined.predict(ref.pc, vpn);
-                if (pred.bits == pa_bits) {
-                    if (pred.source ==
-                        predictor::IndexSource::VaBits) {
-                        ++c_spec;
+            rows.push_back(bench::sweep().async([app, k, refs] {
+                bench::TraceLab lab(app);
+                predictor::CombinedIndexPredictor combined(k);
+                std::uint64_t c_spec = 0, idb_hit = 0, slow = 0;
+                MemRef ref;
+                for (std::uint64_t i = 0; i < refs; ++i) {
+                    lab.workload.next(ref);
+                    const Vpn vpn = ref.vaddr >> pageShift;
+                    const Pfn pfn = lab.pfnOf(ref.vaddr);
+                    const auto pa_bits =
+                        static_cast<std::uint32_t>(pfn &
+                                                   mask(k));
+                    const auto pred =
+                        combined.predict(ref.pc, vpn);
+                    if (pred.bits == pa_bits) {
+                        if (pred.source ==
+                            predictor::IndexSource::VaBits) {
+                            ++c_spec;
+                        } else {
+                            ++idb_hit;
+                        }
                     } else {
-                        ++idb_hit;
+                        ++slow;
                     }
-                } else {
-                    ++slow;
+                    combined.update(ref.pc, vpn, pfn);
                 }
-                combined.update(ref.pc, vpn, pfn);
-            }
-            const auto frac = [&](std::uint64_t n) {
-                return static_cast<double>(n) /
-                       static_cast<double>(refs);
-            };
+                const auto frac = [&](std::uint64_t n) {
+                    return static_cast<double>(n) /
+                           static_cast<double>(refs);
+                };
+                return Row{frac(c_spec), frac(idb_hit),
+                           frac(slow),
+                           frac(c_spec + idb_hit)};
+            }));
+        }
+    }
+
+    std::vector<double> avg_fast(3, 0.0);
+    std::size_t i = 0;
+    for (const auto &app : bench::apps()) {
+        for (unsigned k = 1; k <= 3; ++k) {
+            const Row row = rows[i++].get();
             t.beginRow();
             t.add(app);
             t.add(std::uint64_t{k});
-            t.add(frac(c_spec), 3);
-            t.add(frac(idb_hit), 3);
-            t.add(frac(slow), 3);
-            t.add(frac(c_spec + idb_hit), 3);
-            avg_fast[k - 1] += frac(c_spec + idb_hit);
+            t.add(row.cSpec, 3);
+            t.add(row.idbHit, 3);
+            t.add(row.slow, 3);
+            t.add(row.fast, 3);
+            avg_fast[k - 1] += row.fast;
         }
     }
     t.print(std::cout);
+    bench::sweepFooter();
 
     const auto n = static_cast<double>(bench::apps().size());
     std::cout << "\nAverage fast fraction: 1-bit "

@@ -5,6 +5,7 @@
  * the OOO core, normalised to the baseline, with ideal shown.
  */
 
+#include <array>
 #include <iostream>
 
 #include "bench/bench_util.hh"
@@ -23,20 +24,30 @@ main()
                  "fast%"});
     std::vector<double> sipt_v, ideal_v, extra_v;
 
+    // Submit the whole sweep, then fetch in print order.
+    std::vector<std::array<bench::RunFuture, 3>> futures;
     for (const auto &app : bench::apps()) {
         sim::SystemConfig base;
         base.outOfOrder = true;
         base.measureRefs = bench::measureRefs();
-        const auto r_base = sim::runSingleCore(app, base);
 
         sim::SystemConfig cfg = base;
         cfg.l1Config = sim::L1Config::Sipt32K2;
         cfg.policy = IndexingPolicy::SiptCombined;
-        const auto r = sim::runSingleCore(app, cfg);
 
         sim::SystemConfig icfg = cfg;
         icfg.policy = IndexingPolicy::Ideal;
-        const auto ri = sim::runSingleCore(app, icfg);
+
+        futures.push_back({bench::sweep().enqueue(app, base),
+                           bench::sweep().enqueue(app, cfg),
+                           bench::sweep().enqueue(app, icfg)});
+    }
+
+    for (std::size_t a = 0; a < bench::apps().size(); ++a) {
+        const auto &app = bench::apps()[a];
+        const auto r_base = futures[a][0].get();
+        const auto r = futures[a][1].get();
+        const auto ri = futures[a][2].get();
 
         const double extra =
             static_cast<double>(r.l1.arrayAccesses) /
@@ -60,6 +71,7 @@ main()
     t.add(arithmeticMean(extra_v), 3);
     t.add("");
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nPaper shape: +5.9% average (hmean), 2.3% "
                  "from ideal; >10% in h264ref, cactusADM, "

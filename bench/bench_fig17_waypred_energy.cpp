@@ -3,12 +3,45 @@
  * Fig. 17: cache-hierarchy energy of way prediction on the
  * baseline and composed with SIPT+IDB (32 KiB 2-way),
  * normalised to the baseline L1 without way prediction.
+ *
+ * Submits the same four variants as fig16 — each app's baseline
+ * is simulated once and reused for every normalisation, and with
+ * a warm run cache the whole binary is served from fig16's runs.
  */
 
+#include <array>
 #include <iostream>
 
 #include "bench/bench_util.hh"
 #include "common/table.hh"
+
+namespace
+{
+
+using namespace sipt;
+
+/** Same variant list as fig16 (baseline first). */
+std::array<sim::SystemConfig, 4>
+waypredVariants()
+{
+    sim::SystemConfig base;
+    base.outOfOrder = true;
+    base.measureRefs = bench::measureRefs();
+
+    sim::SystemConfig wp = base;
+    wp.wayPrediction = true;
+
+    sim::SystemConfig scfg = base;
+    scfg.l1Config = sim::L1Config::Sipt32K2;
+    scfg.policy = IndexingPolicy::SiptCombined;
+
+    sim::SystemConfig swp = scfg;
+    swp.wayPrediction = true;
+
+    return {base, wp, scfg, swp};
+}
+
+} // namespace
 
 int
 main()
@@ -22,28 +55,25 @@ main()
     TextTable t({"app", "base+WP", "SIPT", "SIPT+WP"});
     std::vector<double> wp_v, sipt_v, siptwp_v;
 
+    const auto variants = waypredVariants();
+    std::vector<std::array<bench::RunFuture, 4>> futures;
     for (const auto &app : bench::apps()) {
-        sim::SystemConfig base;
-        base.outOfOrder = true;
-        base.measureRefs = bench::measureRefs();
-        const auto r_base = sim::runSingleCore(app, base);
+        futures.push_back(
+            {bench::sweep().enqueue(app, variants[0]),
+             bench::sweep().enqueue(app, variants[1]),
+             bench::sweep().enqueue(app, variants[2]),
+             bench::sweep().enqueue(app, variants[3])});
+    }
 
-        sim::SystemConfig wp = base;
-        wp.wayPrediction = true;
-        const auto r_wp = sim::runSingleCore(app, wp);
-
-        sim::SystemConfig scfg = base;
-        scfg.l1Config = sim::L1Config::Sipt32K2;
-        scfg.policy = IndexingPolicy::SiptCombined;
-        const auto r_s = sim::runSingleCore(app, scfg);
-
-        sim::SystemConfig swp = scfg;
-        swp.wayPrediction = true;
-        const auto r_swp = sim::runSingleCore(app, swp);
+    for (std::size_t a = 0; a < bench::apps().size(); ++a) {
+        const auto r_base = futures[a][0].get();
+        const auto r_wp = futures[a][1].get();
+        const auto r_s = futures[a][2].get();
+        const auto r_swp = futures[a][3].get();
 
         const double base_total = r_base.energy.total();
         t.beginRow();
-        t.add(app);
+        t.add(bench::apps()[a]);
         t.add(r_wp.energy.total() / base_total, 3);
         t.add(r_s.energy.total() / base_total, 3);
         t.add(r_swp.energy.total() / base_total, 3);
@@ -57,6 +87,7 @@ main()
     t.add(arithmeticMean(sipt_v), 3);
     t.add(arithmeticMean(siptwp_v), 3);
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nPaper shape: WP saves ~24% on the baseline; "
                  "SIPT alone already saves most of the dynamic "

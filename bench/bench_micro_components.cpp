@@ -3,7 +3,8 @@
  * Google-benchmark microbenchmarks of the core components: the
  * predictors (whose per-access cost must be negligible for the
  * paper's overhead claims to hold), the cache array, the TLB,
- * the buddy allocator, and the DRAM timing model.
+ * the buddy allocator, the DRAM timing model, and the sweep
+ * engine's task-dispatch overhead.
  */
 
 #include <benchmark/benchmark.h>
@@ -14,6 +15,7 @@
 #include "os/buddy_allocator.hh"
 #include "predictor/combined.hh"
 #include "predictor/perceptron.hh"
+#include "sim/sweep.hh"
 #include "vm/tlb.hh"
 
 namespace
@@ -119,6 +121,23 @@ BM_DramAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DramAccess);
+
+// Round-trip cost of submitting a trivial task to the sweep
+// engine and waiting for its result — the per-job overhead every
+// figure bench pays on top of the simulation itself.
+void
+BM_SweepRunnerDispatch(benchmark::State &state)
+{
+    sim::SweepRunner runner(sim::SweepOptions{
+        static_cast<unsigned>(state.range(0)), "-"});
+    std::uint64_t x = 0;
+    for (auto _ : state) {
+        auto fut = runner.async([x] { return x + 1; });
+        x = fut.get();
+    }
+    benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_SweepRunnerDispatch)->Arg(1)->Arg(2);
 
 } // namespace
 

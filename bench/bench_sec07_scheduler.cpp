@@ -31,12 +31,19 @@ main()
                  "mispred/miss", "confident fast"});
     std::vector<double> ratio_v;
 
+    // One SIPT+IDB run per app, all submitted up front.
+    std::vector<bench::RunFuture> futures;
     for (const auto &app : bench::apps()) {
         sim::SystemConfig cfg;
         cfg.l1Config = sim::L1Config::Sipt32K2;
         cfg.policy = IndexingPolicy::SiptCombined;
         cfg.measureRefs = bench::measureRefs();
-        const auto r = sim::runSingleCore(app, cfg);
+        futures.push_back(bench::sweep().enqueue(app, cfg));
+    }
+
+    for (std::size_t a = 0; a < bench::apps().size(); ++a) {
+        const auto &app = bench::apps()[a];
+        const auto r = futures[a].get();
 
         const double accesses =
             static_cast<double>(r.l1.accesses);
@@ -62,6 +69,7 @@ main()
             ratio_v.push_back(mispred / miss_rate);
     }
     t.print(std::cout);
+    bench::sweepFooter();
 
     std::cout << "\nMean mispredictions-per-miss: "
               << arithmeticMean(ratio_v)

@@ -23,6 +23,7 @@
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
 #include "os/fragmenter.hh"
+#include "sim/sweep.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
 #include "workload/synthetic.hh"
@@ -150,6 +151,32 @@ figureHeader(const std::string &what)
 {
     std::cout << "\n=== " << what << " ===\n"
               << "(refs/run = " << measureRefs() << ")\n\n";
+}
+
+/**
+ * The process-wide sweep engine every bench submits its runs
+ * through (SIPT_THREADS workers, memoized via SIPT_RUN_CACHE).
+ * Benches enqueue every job up front and then fetch futures in
+ * print order, so tables are byte-identical for any thread count.
+ */
+inline sim::SweepRunner &
+sweep()
+{
+    return sim::SweepRunner::global();
+}
+
+/** Shorthand for a future single-core result. */
+using RunFuture = std::shared_future<sim::RunResult>;
+
+/**
+ * Print the engine's jobs/sec and cache-hit counters. Goes to
+ * stderr so stdout (the figure tables) stays byte-comparable
+ * between runs and thread counts.
+ */
+inline void
+sweepFooter()
+{
+    sim::SweepRunner::global().printStats(std::cerr);
 }
 
 } // namespace sipt::bench

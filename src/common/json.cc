@@ -1,0 +1,442 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sipt
+{
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    SIPT_ASSERT(kind_ == Kind::Bool, "json: not a bool");
+    return bool_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    SIPT_ASSERT(kind_ == Kind::Uint, "json: not an integer");
+    return uint_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Uint)
+        return static_cast<double>(uint_);
+    SIPT_ASSERT(kind_ == Kind::Double, "json: not a number");
+    return double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    SIPT_ASSERT(kind_ == Kind::String, "json: not a string");
+    return str_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    SIPT_ASSERT(kind_ == Kind::Array && i < arr_.size(),
+                "json: bad array index");
+    return arr_[i];
+}
+
+void
+Json::push(Json v)
+{
+    SIPT_ASSERT(kind_ == Kind::Array, "json: push on non-array");
+    arr_.push_back(std::move(v));
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    SIPT_ASSERT(kind_ == Kind::Object, "json: set on non-object");
+    for (auto &member : obj_) {
+        if (member.first == key) {
+            member.second = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &member : obj_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    const Json *v = find(key);
+    SIPT_ASSERT(v != nullptr, "json: missing key ", key);
+    return *v;
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == other.bool_;
+      case Kind::Uint:
+        return uint_ == other.uint_;
+      case Kind::Double:
+        return double_ == other.double_;
+      case Kind::String:
+        return str_ == other.str_;
+      case Kind::Array:
+        return arr_ == other.arr_;
+      case Kind::Object:
+        return obj_ == other.obj_;
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+dumpString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Scalars only; containers are handled by Json::dump(). */
+void
+dumpValue(std::string &out, const Json &v)
+{
+    char buf[40];
+    switch (v.kind()) {
+      case Json::Kind::Null:
+        out += "null";
+        break;
+      case Json::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case Json::Kind::Uint:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v.asUint());
+        out += buf;
+        break;
+      case Json::Kind::Double:
+        // 17 significant digits round-trip any IEEE-754 double.
+        std::snprintf(buf, sizeof(buf), "%.17g", v.asDouble());
+        // Keep doubles distinguishable from integers on re-parse.
+        if (std::string_view(buf).find_first_of(".eEn") ==
+            std::string_view::npos) {
+            std::snprintf(buf, sizeof(buf), "%.1f", v.asDouble());
+        }
+        out += buf;
+        break;
+      case Json::Kind::String:
+        dumpString(out, v.asString());
+        break;
+      case Json::Kind::Array:
+      case Json::Kind::Object:
+        panic("json: dumpValue on container");
+    }
+}
+
+} // namespace
+
+std::string
+Json::dump() const
+{
+    if (kind_ == Kind::Object) {
+        std::string out = "{";
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            dumpString(out, obj_[i].first);
+            out += ':';
+            out += obj_[i].second.dump();
+        }
+        out += '}';
+        return out;
+    }
+    if (kind_ == Kind::Array) {
+        std::string out = "[";
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += arr_[i].dump();
+        }
+        out += ']';
+        return out;
+    }
+    std::string out;
+    dumpValue(out, *this);
+    return out;
+}
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) == lit) {
+            pos += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<std::string>
+    parseString()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return std::nullopt;
+                const char e = text[pos++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return std::nullopt;
+                    const std::string hex(text.substr(pos, 4));
+                    pos += 4;
+                    out += static_cast<char>(
+                        std::strtoul(hex.c_str(), nullptr, 16));
+                    break;
+                  }
+                  default:
+                    return std::nullopt;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Json>
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        bool isDouble = false;
+        if (pos < text.size() && text[pos] == '-') {
+            isDouble = true;
+            ++pos;
+        }
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' ||
+                       c == '+' || c == '-') {
+                isDouble = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            return std::nullopt;
+        const std::string num(text.substr(start, pos - start));
+        if (isDouble)
+            return Json(std::strtod(num.c_str(), nullptr));
+        return Json(static_cast<std::uint64_t>(
+            std::strtoull(num.c_str(), nullptr, 10)));
+    }
+
+    std::optional<Json>
+    parseValue()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return std::nullopt;
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            Json obj = Json::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            while (true) {
+                skipWs();
+                auto key = parseString();
+                if (!key || !consume(':'))
+                    return std::nullopt;
+                auto val = parseValue();
+                if (!val)
+                    return std::nullopt;
+                obj.set(*key, std::move(*val));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return obj;
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Json arr = Json::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            while (true) {
+                auto val = parseValue();
+                if (!val)
+                    return std::nullopt;
+                arr.push(std::move(*val));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return arr;
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = parseString();
+            if (!s)
+                return std::nullopt;
+            return Json(std::move(*s));
+        }
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        return parseNumber();
+    }
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(std::string_view text)
+{
+    Parser p{text};
+    auto v = p.parseValue();
+    if (!v)
+        return std::nullopt;
+    p.skipWs();
+    if (p.pos != text.size())
+        return std::nullopt;
+    return v;
+}
+
+} // namespace sipt

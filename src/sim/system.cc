@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "dram/dram.hh"
 #include "os/address_space.hh"
@@ -219,6 +220,35 @@ defaultMeasureRefs()
             return v;
     }
     return 400'000;
+}
+
+std::uint64_t
+defaultWarmupRefs()
+{
+    if (const char *env = std::getenv("SIPT_WARMUP")) {
+        const std::uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 150'000;
+}
+
+std::size_t
+hashValue(const SystemConfig &config)
+{
+    std::size_t h = 0;
+    hashCombine(h, config.outOfOrder);
+    hashCombine(h, static_cast<std::uint8_t>(config.l1Config));
+    hashCombine(h, static_cast<std::uint8_t>(config.policy));
+    hashCombine(h, config.wayPrediction);
+    hashCombine(h, config.radixWalker);
+    hashCombine(h, static_cast<std::uint8_t>(config.condition));
+    hashCombine(h, config.physMemBytes);
+    hashCombine(h, config.warmupRefs);
+    hashCombine(h, config.measureRefs);
+    hashCombine(h, config.seed);
+    hashCombine(h, config.footprintScale);
+    return h;
 }
 
 RunResult

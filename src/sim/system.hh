@@ -41,6 +41,13 @@ enum class MemCondition : std::uint8_t
 /** Printable condition name. */
 const char *conditionName(MemCondition condition);
 
+/**
+ * Default warmup references per run; reads the SIPT_WARMUP
+ * environment variable so CI smoke runs can shrink warmup the
+ * same way SIPT_REFS shrinks measurement.
+ */
+std::uint64_t defaultWarmupRefs();
+
 /** One experiment's system description. */
 struct SystemConfig
 {
@@ -61,14 +68,25 @@ struct SystemConfig
      *  to keep sweeps fast; page-granular behaviour unchanged). */
     std::uint64_t physMemBytes = 4ull << 30;
     /** References to run before statistics reset. */
-    std::uint64_t warmupRefs = 150'000;
+    std::uint64_t warmupRefs = defaultWarmupRefs();
     /** References measured. */
     std::uint64_t measureRefs = 400'000;
     std::uint64_t seed = 42;
     /** Scale factor applied to application footprints (used by
      *  the multicore driver to co-fit four apps). */
     double footprintScale = 1.0;
+
+    /**
+     * Field-wise equality; together with hashValue() this makes a
+     * config usable as a run-cache key, so every field that
+     * influences simulation results MUST participate here (a
+     * defaulted comparison keeps that invariant automatic).
+     */
+    bool operator==(const SystemConfig &other) const = default;
 };
+
+/** Hash over every SystemConfig field (run-cache key). */
+std::size_t hashValue(const SystemConfig &config);
 
 /** Metrics from one application run. */
 struct RunResult

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SystemConfig as a run-cache key: field-wise equality and
+ * hashValue() must react to every result-influencing field —
+ * a field the key ignores would let the cache serve a stale
+ * result for a different experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+
+namespace sipt::sim
+{
+namespace
+{
+
+/** Mutate one field, expect inequality and a hash change. */
+template <typename Mutate>
+void
+expectFieldMatters(const char *field, Mutate mutate)
+{
+    const SystemConfig base;
+    SystemConfig changed = base;
+    mutate(changed);
+    EXPECT_FALSE(changed == base)
+        << field << " does not participate in operator==";
+    EXPECT_NE(hashValue(changed), hashValue(base))
+        << field << " does not participate in hashValue()";
+}
+
+TEST(ConfigKey, EqualConfigsCompareAndHashEqual)
+{
+    const SystemConfig a;
+    const SystemConfig b;
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(hashValue(a), hashValue(b));
+
+    SystemConfig c;
+    c.policy = IndexingPolicy::SiptCombined;
+    c.l1Config = L1Config::Sipt32K2;
+    c.condition = MemCondition::Fragmented;
+    c.footprintScale = 0.25;
+    SystemConfig d = c;
+    EXPECT_TRUE(c == d);
+    EXPECT_EQ(hashValue(c), hashValue(d));
+}
+
+TEST(ConfigKey, EveryFieldParticipates)
+{
+    expectFieldMatters("outOfOrder", [](SystemConfig &c) {
+        c.outOfOrder = !c.outOfOrder;
+    });
+    expectFieldMatters("l1Config", [](SystemConfig &c) {
+        c.l1Config = L1Config::Sipt64K4;
+    });
+    expectFieldMatters("policy", [](SystemConfig &c) {
+        c.policy = IndexingPolicy::Ideal;
+    });
+    expectFieldMatters("wayPrediction", [](SystemConfig &c) {
+        c.wayPrediction = !c.wayPrediction;
+    });
+    expectFieldMatters("radixWalker", [](SystemConfig &c) {
+        c.radixWalker = !c.radixWalker;
+    });
+    expectFieldMatters("condition", [](SystemConfig &c) {
+        c.condition = MemCondition::NoContiguity;
+    });
+    expectFieldMatters("physMemBytes", [](SystemConfig &c) {
+        c.physMemBytes *= 2;
+    });
+    expectFieldMatters("warmupRefs", [](SystemConfig &c) {
+        c.warmupRefs += 1;
+    });
+    expectFieldMatters("measureRefs", [](SystemConfig &c) {
+        c.measureRefs += 1;
+    });
+    expectFieldMatters("seed", [](SystemConfig &c) {
+        c.seed += 1;
+    });
+    expectFieldMatters("footprintScale", [](SystemConfig &c) {
+        c.footprintScale = 0.5;
+    });
+}
+
+TEST(ConfigKey, ConditionValuesAreDistinct)
+{
+    // Fig. 18 sweeps all four conditions against one another;
+    // each pair must key differently.
+    const MemCondition all[] = {
+        MemCondition::Normal, MemCondition::Fragmented,
+        MemCondition::ThpOff, MemCondition::NoContiguity};
+    for (auto a : all) {
+        for (auto b : all) {
+            SystemConfig ca, cb;
+            ca.condition = a;
+            cb.condition = b;
+            EXPECT_EQ(ca == cb, a == b);
+            if (a != b) {
+                EXPECT_NE(hashValue(ca), hashValue(cb));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace sipt::sim

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The parallel sweep engine: submission-order results from
+ * runBatch(), memo/disk cache hit accounting, in-flight
+ * deduplication of identical concurrent jobs, generic async()
+ * tasks, and bit-identical results across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/sweep.hh"
+
+namespace sipt::sim
+{
+namespace
+{
+
+SystemConfig
+quick(IndexingPolicy policy, std::uint64_t seed = 42)
+{
+    SystemConfig cfg;
+    cfg.l1Config = policy == IndexingPolicy::Vipt
+                       ? L1Config::Baseline32K8
+                       : L1Config::Sipt32K2;
+    cfg.policy = policy;
+    cfg.warmupRefs = 2'000;
+    cfg.measureRefs = 5'000;
+    cfg.seed = seed;
+    return cfg;
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.spec.correctSpeculation,
+              b.l1.spec.correctSpeculation);
+    EXPECT_DOUBLE_EQ(a.fastFraction, b.fastFraction);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+    EXPECT_DOUBLE_EQ(a.l1Mpki, b.l1Mpki);
+    EXPECT_EQ(a.pageWalks, b.pageWalks);
+}
+
+std::vector<SweepJob>
+mixedBatch()
+{
+    return {
+        {"mcf", quick(IndexingPolicy::Vipt)},
+        {"gcc", quick(IndexingPolicy::SiptCombined)},
+        {"mcf", quick(IndexingPolicy::SiptNaive)},
+        {"lbm", quick(IndexingPolicy::Ideal)},
+        {"gcc", quick(IndexingPolicy::SiptCombined, 7)},
+    };
+}
+
+TEST(Sweep, RunBatchPreservesSubmissionOrder)
+{
+    SweepRunner runner(SweepOptions{4, "-"});
+    const auto jobs = mixedBatch();
+    const auto results = runner.runBatch(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].app, jobs[i].app)
+            << "row " << i << " out of submission order";
+        expectSameResult(results[i],
+                         runSingleCore(jobs[i].app,
+                                       jobs[i].config));
+    }
+}
+
+TEST(Sweep, ThreadCountDoesNotChangeResults)
+{
+    SweepRunner sequential(SweepOptions{1, "-"});
+    SweepRunner parallel(SweepOptions{4, "-"});
+    const auto jobs = mixedBatch();
+    const auto seq = sequential.runBatch(jobs);
+    const auto par = parallel.runBatch(jobs);
+
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        expectSameResult(seq[i], par[i]);
+}
+
+TEST(Sweep, MemoHitsServeRepeatedKeys)
+{
+    SweepRunner runner(SweepOptions{1, "-"});
+    const auto cfg = quick(IndexingPolicy::SiptCombined);
+
+    auto first = runner.enqueue("mcf", cfg);
+    auto again = runner.enqueue("mcf", cfg);
+    auto other = runner.enqueue("gcc", cfg);
+
+    expectSameResult(first.get(), again.get());
+    (void)other.get();
+
+    const auto s = runner.stats();
+    EXPECT_EQ(s.submitted, 3u);
+    EXPECT_EQ(s.executed, 2u);
+    EXPECT_EQ(s.memoHits, 1u);
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 1.0 / 3.0);
+}
+
+TEST(Sweep, InflightSubmissionsShareOneSimulation)
+{
+    SweepRunner runner(SweepOptions{4, "-"});
+    const auto cfg = quick(IndexingPolicy::SiptCombined);
+
+    // All ten submissions land before any worker can finish the
+    // first (a job takes milliseconds); nine must attach to the
+    // in-flight run rather than re-simulate.
+    std::vector<std::shared_future<RunResult>> futures;
+    for (int i = 0; i < 10; ++i)
+        futures.push_back(runner.enqueue("mcf", cfg));
+    for (auto &f : futures)
+        expectSameResult(f.get(), futures.front().get());
+
+    const auto s = runner.stats();
+    EXPECT_EQ(s.submitted, 10u);
+    EXPECT_EQ(s.executed, 1u);
+    EXPECT_EQ(s.memoHits + s.inflightShares, 9u);
+}
+
+TEST(Sweep, DiskCacheSurvivesRunnerRestart)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "sipt_test_run_cache";
+    std::filesystem::remove_all(dir);
+
+    const auto cfg = quick(IndexingPolicy::SiptCombined);
+    RunResult cold;
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        cold = runner.enqueue("mcf", cfg).get();
+        EXPECT_EQ(runner.stats().executed, 1u);
+        EXPECT_EQ(runner.stats().diskHits, 0u);
+    }
+
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        const auto warm = runner.enqueue("mcf", cfg).get();
+        expectSameResult(cold, warm);
+        const auto s = runner.stats();
+        EXPECT_EQ(s.executed, 0u);
+        EXPECT_EQ(s.diskHits, 1u);
+        EXPECT_DOUBLE_EQ(s.hitRate(), 1.0);
+
+        // A different key is a miss, not a collision.
+        const auto miss =
+            runner.enqueue("mcf",
+                           quick(IndexingPolicy::SiptCombined,
+                                 7));
+        (void)miss.get();
+        EXPECT_EQ(runner.stats().executed, 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Sweep, DiskCacheRoundTripsMulticore)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "sipt_test_multi_cache";
+    std::filesystem::remove_all(dir);
+
+    auto cfg = quick(IndexingPolicy::SiptCombined);
+    cfg.footprintScale = 0.5;
+    const std::vector<std::string> mix = {"mcf", "gcc", "mcf",
+                                          "gcc"};
+    MulticoreResult cold;
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        cold = runner.enqueueMulticore(mix, cfg).get();
+    }
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        const auto warm =
+            runner.enqueueMulticore(mix, cfg).get();
+        EXPECT_EQ(runner.stats().diskHits, 1u);
+        EXPECT_DOUBLE_EQ(cold.sumIpc, warm.sumIpc);
+        EXPECT_DOUBLE_EQ(cold.energy.total(),
+                         warm.energy.total());
+        ASSERT_EQ(cold.perCore.size(), warm.perCore.size());
+        for (std::size_t i = 0; i < cold.perCore.size(); ++i)
+            expectSameResult(cold.perCore[i], warm.perCore[i]);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Sweep, AsyncRunsGenericTasks)
+{
+    SweepRunner runner(SweepOptions{4, "-"});
+    std::vector<std::shared_future<int>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(runner.async([i] { return i * i; }));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+
+    const auto s = runner.stats();
+    EXPECT_EQ(s.genericTasks, 8u);
+    EXPECT_EQ(s.submitted, 0u);
+}
+
+TEST(Sweep, StatsRates)
+{
+    SweepStats s;
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.jobsPerSec(), 0.0);
+
+    s.submitted = 4;
+    s.memoHits = 1;
+    s.diskHits = 1;
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+} // namespace
+} // namespace sipt::sim
