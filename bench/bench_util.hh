@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <string>
 #include <vector>

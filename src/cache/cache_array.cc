@@ -69,7 +69,7 @@ int
 CacheArray::probe(std::uint32_t set, Addr paddr) const
 {
     SIPT_ASSERT(set < numSets_, "set out of range");
-    const Addr want = paddr >> lineShift_;
+    const Addr want = blockNumber(paddr, lineShift_);
     for (std::uint32_t w = 0; w < assoc_; ++w) {
         const Line &l = line(set, w);
         if (l.valid && l.lineAddr == want)
@@ -106,10 +106,11 @@ CacheArray::insert(std::uint32_t set, Addr paddr, bool dirty)
     Line &l = line(set, victim);
     std::optional<Eviction> evicted;
     if (l.valid)
-        evicted = Eviction{l.lineAddr << lineShift_, l.dirty};
+        evicted = Eviction{blockBase(l.lineAddr, lineShift_),
+                           l.dirty};
     l.valid = true;
     l.dirty = dirty;
-    l.lineAddr = paddr >> lineShift_;
+    l.lineAddr = blockNumber(paddr, lineShift_);
     touchLine(set, victim);
     return evicted;
 }

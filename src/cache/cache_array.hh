@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/types.hh"
 
 namespace sipt::cache
@@ -69,7 +70,8 @@ class CacheArray
     std::uint32_t
     setOf(Addr paddr) const
     {
-        return static_cast<std::uint32_t>(paddr >> lineShift_) &
+        return static_cast<std::uint32_t>(
+                   blockNumber(paddr, lineShift_)) &
                (numSets_ - 1);
     }
 

@@ -11,6 +11,7 @@
 #ifndef SIPT_CACHE_HIERARCHY_HH
 #define SIPT_CACHE_HIERARCHY_HH
 
+#include <cstdint>
 #include <memory>
 
 #include "cache/timing_cache.hh"

@@ -2,6 +2,12 @@
  * @file
  * Bit-manipulation helpers used throughout the cache and predictor
  * models. All helpers are constexpr and operate on 64-bit values.
+ *
+ * The address-arithmetic helpers (pageNumber, blockNumber, ...) are
+ * the *only* sanctioned way to shift an address: sipt-lint's
+ * addr-shift rule flags raw `<<`/`>>` on address-typed operands so
+ * that every index computation the paper's claims rest on lives
+ * here, where it is tested and UBSan-audited once.
  */
 
 #ifndef SIPT_COMMON_BITOPS_HH
@@ -11,6 +17,7 @@
 #include <cstdint>
 
 #include "common/logging.hh"
+#include "common/types.hh"
 
 namespace sipt
 {
@@ -70,6 +77,53 @@ constexpr std::uint64_t
 alignUp(std::uint64_t v, std::uint64_t align)
 {
     return (v + align - 1) & ~(align - 1);
+}
+
+/** 4 KiB page number (VPN or PFN) of a byte address. */
+constexpr std::uint64_t
+pageNumber(Addr addr)
+{
+    return addr >> pageShift;
+}
+
+/** 2 MiB huge-page number of a byte address. */
+constexpr std::uint64_t
+hugePageNumber(Addr addr)
+{
+    return addr >> hugePageShift;
+}
+
+/** Byte address of the base of 4 KiB page number @p pn. */
+constexpr Addr
+pageBase(std::uint64_t pn)
+{
+    return static_cast<Addr>(pn) << pageShift;
+}
+
+/** Offset of @p addr within its 4 KiB page. */
+constexpr Addr
+pageOffset(Addr addr)
+{
+    return addr & (pageSize - 1);
+}
+
+/**
+ * Block number of @p addr under 2^@p block_shift-byte blocks
+ * (cache lines, DRAM rows, page-table spans). @p block_shift must
+ * be < 64.
+ */
+constexpr std::uint64_t
+blockNumber(Addr addr, unsigned block_shift)
+{
+    return addr >> block_shift;
+}
+
+/** Byte address of the base of @p block under
+ *  2^@p block_shift-byte blocks. */
+constexpr Addr
+blockBase(std::uint64_t block, unsigned block_shift)
+{
+    return static_cast<Addr>(block) << block_shift;
 }
 
 } // namespace sipt

@@ -8,6 +8,7 @@
 #ifndef SIPT_COMMON_TABLE_HH
 #define SIPT_COMMON_TABLE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>

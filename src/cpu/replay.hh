@@ -13,6 +13,7 @@
 #ifndef SIPT_CPU_REPLAY_HH
 #define SIPT_CPU_REPLAY_HH
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 

@@ -31,16 +31,16 @@ Dram::access(Addr paddr, Cycles now, bool write)
 
     // Line-interleaved channel, then bank, then row: adjacent lines
     // spread across channels for bandwidth (common BIOS mapping).
-    const Addr line = paddr >> lineShift;
+    const Addr line = blockNumber(paddr, lineShift);
     const std::uint32_t channel = static_cast<std::uint32_t>(
         line & (params_.channels - 1));
-    const Addr after_ch = line >> floorLog2(params_.channels);
+    const Addr after_ch =
+        blockNumber(line, floorLog2(params_.channels));
     const std::uint32_t bank = static_cast<std::uint32_t>(
         after_ch & (params_.banksPerChannel - 1));
     const std::uint64_t row =
-        (paddr >> floorLog2(params_.rowBytes *
-                            params_.channels)) &
-        ~std::uint64_t{0};
+        blockNumber(paddr, floorLog2(params_.rowBytes *
+                                     params_.channels));
 
     Bank &b = banks_[static_cast<std::size_t>(channel) *
                          params_.banksPerChannel +

@@ -70,7 +70,7 @@ AddressSpace::mmapAlias(Addr existing_va, std::uint64_t length,
         if (xlat->hugePage)
             fatal("mmapAlias: source va ", src,
                   " is huge-page mapped");
-        pageTable_.mapPage(base + off, xlat->paddr >> pageShift);
+        pageTable_.mapPage(base + off, pageNumber(xlat->paddr));
         // No allocation record: the frames belong to the original
         // mapping and are freed through it.
     }
@@ -142,7 +142,7 @@ AddressSpace::mapSmall(Addr vaddr)
     if (policy_.randomPlacement) {
         pfn = allocator_.allocateRandom(0, rng_);
     } else if (policy_.coloringBits > 0) {
-        pfn = allocator_.allocateColored(0, vaddr >> pageShift,
+        pfn = allocator_.allocateColored(0, pageNumber(vaddr),
                                          policy_.coloringBits);
         if (!pfn)
             pfn = allocator_.allocate(0);

@@ -1,5 +1,11 @@
 #include "sim/sweep.hh"
 
+// The steady_clock reads below time the engine itself (wall-clock
+// and per-job seconds in the bench footer); no clock value ever
+// reaches simulation state, so results stay a pure function of
+// (app, SystemConfig).
+// sipt-lint: allow-file(nondeterminism)
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -315,6 +321,10 @@ SweepRunner::~SweepRunner()
 SweepRunner &
 SweepRunner::global()
 {
+    // Magic-static init is thread-safe and SweepRunner is
+    // internally synchronised; this is the one sanctioned piece of
+    // process-global mutable state.
+    // sipt-lint: allow(mutable-static)
     static SweepRunner runner;
     return runner;
 }

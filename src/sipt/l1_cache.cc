@@ -143,8 +143,8 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
             bits(ref.vaddr, pageShift + specBits_ - 1, pageShift));
         const std::uint32_t pa_bits = physSpecBits(paddr);
         const bool unchanged = va_bits == pa_bits;
-        const Vpn vpn = ref.vaddr >> pageShift;
-        const Pfn pfn = paddr >> pageShift;
+        const Vpn vpn = pageNumber(ref.vaddr);
+        const Pfn pfn = pageNumber(paddr);
 
         switch (params_.policy) {
           case IndexingPolicy::Ideal:

@@ -1,5 +1,6 @@
 #include "vm/mmu.hh"
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 
 namespace sipt::vm
@@ -23,8 +24,8 @@ Mmu::translate(Addr vaddr, const PageTable &page_table,
     res.paddr = xlat->paddr;
     res.hugePage = xlat->hugePage;
 
-    const Vpn vpn = xlat->hugePage ? (vaddr >> hugePageShift)
-                                   : (vaddr >> pageShift);
+    const Vpn vpn = xlat->hugePage ? hugePageNumber(vaddr)
+                                   : pageNumber(vaddr);
     Tlb &l1 = xlat->hugePage ? l1Huge_ : l1Small_;
 
     if (l1.lookup(vpn, xlat->hugePage)) {

@@ -9,8 +9,8 @@ namespace sipt::vm
 void
 PageTable::mapPage(Addr vaddr, Pfn pfn)
 {
-    const Vpn vpn = vaddr >> pageShift;
-    const Vpn chunk = vaddr >> hugePageShift;
+    const Vpn vpn = pageNumber(vaddr);
+    const Vpn chunk = hugePageNumber(vaddr);
     SIPT_ASSERT(huge_.find(chunk) == huge_.end(),
                 "4K map inside huge mapping, va=", vaddr);
     const bool inserted = small_.emplace(vpn, pfn).second;
@@ -21,7 +21,7 @@ PageTable::mapPage(Addr vaddr, Pfn pfn)
 void
 PageTable::mapHugePage(Addr vaddr, Pfn base_pfn)
 {
-    const Vpn chunk = vaddr >> hugePageShift;
+    const Vpn chunk = hugePageNumber(vaddr);
     SIPT_ASSERT((base_pfn & mask(hugePageShift - pageShift)) == 0,
                 "huge frame not aligned, pfn=", base_pfn);
     SIPT_ASSERT(!chunkHasSmallMappings(vaddr),
@@ -33,9 +33,9 @@ PageTable::mapHugePage(Addr vaddr, Pfn base_pfn)
 void
 PageTable::unmapPage(Addr vaddr)
 {
-    const Vpn vpn = vaddr >> pageShift;
+    const Vpn vpn = pageNumber(vaddr);
     if (small_.erase(vpn) > 0) {
-        const Vpn chunk = vaddr >> hugePageShift;
+        const Vpn chunk = hugePageNumber(vaddr);
         auto it = smallPerChunk_.find(chunk);
         SIPT_ASSERT(it != smallPerChunk_.end() && it->second > 0,
                     "chunk count underflow");
@@ -47,23 +47,23 @@ PageTable::unmapPage(Addr vaddr)
 void
 PageTable::unmapHugePage(Addr vaddr)
 {
-    huge_.erase(vaddr >> hugePageShift);
+    huge_.erase(hugePageNumber(vaddr));
 }
 
 std::optional<Translation>
 PageTable::translate(Addr vaddr) const
 {
-    const auto hit = huge_.find(vaddr >> hugePageShift);
+    const auto hit = huge_.find(hugePageNumber(vaddr));
     if (hit != huge_.end()) {
         return Translation{
-            (hit->second << pageShift) |
+            pageBase(hit->second) |
                 (vaddr & mask(hugePageShift)),
             true};
     }
-    const auto sit = small_.find(vaddr >> pageShift);
+    const auto sit = small_.find(pageNumber(vaddr));
     if (sit != small_.end()) {
         return Translation{
-            (sit->second << pageShift) | (vaddr & mask(pageShift)),
+            pageBase(sit->second) | (vaddr & mask(pageShift)),
             false};
     }
     return std::nullopt;
@@ -72,20 +72,20 @@ PageTable::translate(Addr vaddr) const
 bool
 PageTable::isMapped(Addr vaddr) const
 {
-    return huge_.count(vaddr >> hugePageShift) > 0 ||
-           small_.count(vaddr >> pageShift) > 0;
+    return huge_.contains(hugePageNumber(vaddr)) ||
+           small_.contains(pageNumber(vaddr));
 }
 
 bool
 PageTable::isHugeMapped(Addr vaddr) const
 {
-    return huge_.count(vaddr >> hugePageShift) > 0;
+    return huge_.contains(hugePageNumber(vaddr));
 }
 
 bool
 PageTable::chunkHasSmallMappings(Addr vaddr) const
 {
-    return smallPerChunk_.count(vaddr >> hugePageShift) > 0;
+    return smallPerChunk_.contains(hugePageNumber(vaddr));
 }
 
 void

@@ -39,7 +39,7 @@ PageWalker::pteAddr(Addr vaddr, std::uint32_t level) const
     // above that level; the PTE's offset within it by the level
     // index. 8-byte PTEs.
     const Addr upper =
-        vaddr >> (pageShift + 9 * (level + 1));
+        blockNumber(vaddr, pageShift + 9 * (level + 1));
     const Addr table_page =
         params_.tableBase +
         (((upper * 0x9e3779b97f4a7c15ull) ^ (level + 1))
@@ -62,7 +62,7 @@ PageWalker::walk(Addr vaddr, Cycles now, bool huge_page)
          ++level) {
         // Tag: VA bits covered above this level.
         const std::uint64_t tag =
-            vaddr >> (pageShift + 9 * level);
+            blockNumber(vaddr, pageShift + 9 * level);
         const std::uint32_t idx = static_cast<std::uint32_t>(
             tag & (params_.pwcEntries - 1));
         if (pwc_[level][idx] == tag) {
@@ -81,7 +81,7 @@ PageWalker::walk(Addr vaddr, Cycles now, bool huge_page)
         // Fill the PWC for non-leaf levels.
         if (level > leaf) {
             const std::uint64_t tag =
-                vaddr >> (pageShift + 9 * level);
+                blockNumber(vaddr, pageShift + 9 * level);
             const std::uint32_t idx =
                 static_cast<std::uint32_t>(
                     tag & (params_.pwcEntries - 1));

@@ -75,5 +75,43 @@ TEST(Bitops, PageConstantsConsistent)
     EXPECT_EQ(lineSize, 64u);
 }
 
+TEST(Bitops, PageNumberHelpers)
+{
+    EXPECT_EQ(pageNumber(0), 0u);
+    EXPECT_EQ(pageNumber(pageSize - 1), 0u);
+    EXPECT_EQ(pageNumber(pageSize), 1u);
+    EXPECT_EQ(pageNumber(hugePageSize), pagesPerHugePage);
+    EXPECT_EQ(hugePageNumber(hugePageSize - 1), 0u);
+    EXPECT_EQ(hugePageNumber(hugePageSize), 1u);
+    // The full 64-bit range round-trips without losing high bits.
+    const Addr top = ~Addr{0};
+    EXPECT_EQ(pageNumber(top), top >> 12);
+    EXPECT_EQ(pageBase(pageNumber(top)), top & ~(pageSize - 1));
+}
+
+TEST(Bitops, PageBaseAndOffsetRecomposeAddresses)
+{
+    const Addr addr = 0x0123'4567'89ab'cdefull;
+    EXPECT_EQ(pageBase(pageNumber(addr)) + pageOffset(addr),
+              addr);
+    EXPECT_EQ(pageOffset(addr), addr & 0xfffu);
+    EXPECT_EQ(pageOffset(pageBase(77)), 0u);
+}
+
+TEST(Bitops, BlockHelpersMatchShiftSemantics)
+{
+    const Addr addr = 0xdead'beef'cafeull;
+    for (unsigned shift : {0u, 6u, 12u, 21u, 30u, 63u}) {
+        EXPECT_EQ(blockNumber(addr, shift), addr >> shift)
+            << "shift " << shift;
+        EXPECT_EQ(blockBase(blockNumber(addr, shift), shift),
+                  (addr >> shift) << shift)
+            << "shift " << shift;
+    }
+    // Line-granularity round trip, the cache arrays' usage.
+    EXPECT_EQ(blockBase(blockNumber(addr, lineShift), lineShift),
+              alignDown(addr, lineSize));
+}
+
 } // namespace
 } // namespace sipt

@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Self-test for tools/sipt-lint.
+
+Seeds one violation of every rule class into a scratch tree and
+asserts the linter catches each, that clean idioms pass, and that the
+escape hatch works only with a valid rule name. Runs as the
+`sipt_lint_selftest` ctest; exits nonzero on the first failure.
+"""
+
+import importlib.util
+import os
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_linter():
+    spec = importlib.util.spec_from_loader(
+        "sipt_lint",
+        importlib.machinery.SourceFileLoader(
+            "sipt_lint", os.path.join(TOOLS_DIR, "sipt-lint")))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+LINT = load_linter()
+
+
+class LintCase(unittest.TestCase):
+    def lint_src(self, relpath, text, extra=None):
+        """Write files into a scratch repo, lint, return
+        diagnostics as (rule, line) pairs."""
+        with tempfile.TemporaryDirectory() as root:
+            files = {relpath: text}
+            files.update(extra or {})
+            for rel, body in files.items():
+                path = os.path.join(root, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(body)
+            diags = []
+            for rel in sorted(files):
+                LINT.check_file(
+                    os.path.join(root, rel), rel, diags,
+                    strict=rel.startswith("src/"))
+            return [(d.rule, d.line) for d in diags]
+
+    def assert_rule(self, diags, rule, count=1):
+        hits = [d for d in diags if d[0] == rule]
+        self.assertEqual(
+            len(hits), count,
+            f"expected {count} x {rule}, got {diags}")
+
+
+class Nondeterminism(LintCase):
+    def test_rand_and_srand_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "int f() { srand(42); return rand(); }\n")
+        self.assert_rule(diags, "nondeterminism", 2)
+
+    def test_random_device_and_engine_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "#include <random>\n"
+            "std::mt19937 g{std::random_device{}()};\n")
+        self.assert_rule(diags, "nondeterminism", 2)
+
+    def test_time_and_clocks_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "long f() { return time(nullptr); }\n"
+            "long g() { return clock(); }\n"
+            "auto h() { return "
+            "std::chrono::steady_clock::now(); }\n")
+        self.assert_rule(diags, "nondeterminism", 3)
+
+    def test_rng_hh_and_member_time_ok(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            '#include "common/rng.hh"\n'
+            "double f(sipt::Rng &rng) { return rng.uniform(); }\n"
+            "struct S { long time(int); };\n"
+            "long g(S &s) { return s.time(3); }\n"
+            "int runtime(int x) { return x; }\n")
+        self.assertEqual(diags, [])
+
+    def test_mention_in_comment_or_string_ok(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "// rand() would poison the memo cache\n"
+            'const char *s = "do not call rand()";\n')
+        self.assertEqual(diags, [])
+
+    def test_not_checked_outside_src(self):
+        diags = self.lint_src(
+            "bench/a.cc", "int f() { return rand(); }\n")
+        self.assertEqual(diags, [])
+
+
+class MutableStatic(LintCase):
+    def test_mutable_static_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "int f() {\n"
+            "    static int calls = 0;\n"
+            "    return ++calls;\n"
+            "}\n"
+            "static bool g_ready;\n")
+        self.assert_rule(diags, "mutable-static", 2)
+
+    def test_const_once_init_table_ok(self):
+        # The profile.cc idiom: thread-safe once-init const table.
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "#include <vector>\n"
+            "std::vector<int> build();\n"
+            "const std::vector<int> &table() {\n"
+            "    static const std::vector<int> t = build();\n"
+            "    return t;\n"
+            "}\n"
+            "static constexpr double kPi = 3.14;\n")
+        self.assertEqual(diags, [])
+
+    def test_static_member_function_decl_ok(self):
+        diags = self.lint_src(
+            "src/x/a.hh",
+            "#ifndef SIPT_X_A_HH\n#define SIPT_X_A_HH\n"
+            "struct S {\n"
+            "    static double latencyRaw(int config);\n"
+            "    static S\n"
+            "    make(int a, int b);\n"
+            "};\n"
+            "static int helper() { return 3; }\n"
+            "#endif\n")
+        self.assertEqual(diags, [])
+
+
+class RawThread(LintCase):
+    def test_thread_async_new_array_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "#include <thread>\n"
+            "void f() { std::thread t([]{}); t.join(); }\n"
+            "auto g() { return std::async([]{ return 1; }); }\n"
+            "int *h(int n) { return new int[n]; }\n")
+        self.assert_rule(diags, "raw-thread", 3)
+
+    def test_sweep_cc_is_exempt(self):
+        diags = self.lint_src(
+            "src/sim/sweep.cc",
+            "#include <thread>\n"
+            "void f() { std::thread t([]{}); t.join(); }\n")
+        self.assertEqual(diags, [])
+
+
+class AddrShift(LintCase):
+    def test_raw_shift_on_addr_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "unsigned long f(unsigned long vaddr) "
+            "{ return vaddr >> 12; }\n"
+            "unsigned long g(unsigned long paddr, unsigned s) "
+            "{ return paddr >> s; }\n"
+            "unsigned long h(unsigned long x) "
+            "{ return x << 12; }\n")
+        self.assert_rule(diags, "addr-shift", 2)
+
+    def test_member_access_and_lineaddr_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "unsigned long f(const R &r) "
+            "{ return r.vaddr >> 12; }\n"
+            "unsigned long g(const L &l, unsigned s) "
+            "{ return l.lineAddr << s; }\n")
+        self.assert_rule(diags, "addr-shift", 2)
+
+    def test_helpers_and_streaming_ok(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            '#include "common/bitops.hh"\n'
+            "auto f(sipt::Addr vaddr) "
+            "{ return sipt::pageNumber(vaddr); }\n"
+            "void g(std::ostream &os, sipt::Addr addr) "
+            '{ os << "va=" << addr << 1; }\n')
+        self.assertEqual(diags, [])
+
+    def test_bitops_itself_exempt(self):
+        diags = self.lint_src(
+            "src/common/bitops.hh",
+            "#ifndef SIPT_COMMON_BITOPS_HH\n"
+            "#define SIPT_COMMON_BITOPS_HH\n"
+            "constexpr unsigned long pageNumber(unsigned long "
+            "addr) { return addr >> 12; }\n"
+            "#endif\n")
+        self.assertEqual(diags, [])
+
+
+class HeaderGuard(LintCase):
+    def test_missing_guard_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.hh", "struct A {};\n")
+        self.assert_rule(diags, "header-guard")
+
+    def test_wrong_guard_name_flagged(self):
+        diags = self.lint_src(
+            "src/x/a.hh",
+            "#ifndef WRONG_GUARD\n#define WRONG_GUARD\n"
+            "struct A {};\n#endif\n")
+        self.assert_rule(diags, "header-guard")
+
+    def test_canonical_guard_and_pragma_once_ok(self):
+        diags = self.lint_src(
+            "src/x/a.hh",
+            "#ifndef SIPT_X_A_HH\n#define SIPT_X_A_HH\n"
+            "struct A {};\n#endif\n",
+            extra={"src/x/b.hh": "#pragma once\nstruct B {};\n"})
+        self.assertEqual(diags, [])
+
+    def test_bench_headers_checked_too(self):
+        diags = self.lint_src("bench/bench_util.hh", "int x;\n")
+        self.assert_rule(diags, "header-guard")
+
+
+class SelfContained(LintCase):
+    def test_broken_header_fails_compile_check(self):
+        compiler = os.environ.get("CXX", "c++")
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "src/x"))
+            # Uses std::vector without including <vector>.
+            with open(os.path.join(root, "src/x/a.hh"), "w",
+                      encoding="utf-8") as f:
+                f.write("#ifndef SIPT_X_A_HH\n"
+                        "#define SIPT_X_A_HH\n"
+                        "inline std::vector<int> v() "
+                        "{ return {}; }\n#endif\n")
+            with open(os.path.join(root, "src/x/b.hh"), "w",
+                      encoding="utf-8") as f:
+                f.write("#ifndef SIPT_X_B_HH\n"
+                        "#define SIPT_X_B_HH\n"
+                        "#include <vector>\n"
+                        "inline std::vector<int> v2() "
+                        "{ return {}; }\n#endif\n")
+            diags = []
+            LINT.check_self_contained(
+                root, ["src/x/a.hh", "src/x/b.hh"], compiler,
+                diags, [])
+            rules = [(d.rule, d.path) for d in diags]
+            self.assertEqual(rules,
+                             [("self-contained", "x/a.hh")])
+
+
+class EscapeHatch(LintCase):
+    def test_allow_on_own_line_and_line_above(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "int f() { return rand(); } "
+            "// sipt-lint: allow(nondeterminism)\n"
+            "// sipt-lint: allow(nondeterminism)\n"
+            "int g() { return rand(); }\n")
+        self.assertEqual(diags, [])
+
+    def test_allow_file_suppresses_everywhere(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "// sipt-lint: allow-file(nondeterminism)\n"
+            "int f() { return rand(); }\n"
+            "int g() { return rand(); }\n")
+        self.assertEqual(diags, [])
+
+    def test_allow_without_rule_name_rejected(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "int f() { return rand(); } // sipt-lint: allow\n")
+        self.assert_rule(diags, "bad-allow")
+        self.assert_rule(diags, "nondeterminism")
+
+    def test_allow_with_unknown_rule_rejected(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "int f() { return rand(); } "
+            "// sipt-lint: allow(everything)\n")
+        self.assert_rule(diags, "bad-allow")
+        self.assert_rule(diags, "nondeterminism")
+
+    def test_allow_does_not_leak_past_next_line(self):
+        diags = self.lint_src(
+            "src/x/a.cc",
+            "// sipt-lint: allow(nondeterminism)\n"
+            "int f() { return 0; }\n"
+            "int g() { return rand(); }\n")
+        self.assert_rule(diags, "nondeterminism")
+
+
+class WholeTreeContract(LintCase):
+    def test_repo_is_clean(self):
+        """The acceptance criterion: sipt-lint on the real tree
+        reports zero violations."""
+        root = os.path.dirname(TOOLS_DIR)
+        rc = LINT.main(["--root", root])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
