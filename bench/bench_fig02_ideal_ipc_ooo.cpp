@@ -30,9 +30,12 @@ main()
         {L1Config::Sipt128K4, IndexingPolicy::Ideal},
     };
 
+    const std::vector<std::string> cfg_names = {
+        "16K4w", "32K2w", "32K4w", "64K4w", "128K4w"};
     TextTable t({"app", "16K4w", "32K2w", "32K4w", "64K4w",
                  "128K4w"});
     std::map<std::size_t, std::vector<double>> speedups;
+    bench::FigureMetrics fm("fig02");
 
     // Submit every run up front; the engine parallelises and
     // memoizes, and we fetch in submission order below.
@@ -63,12 +66,19 @@ main()
             const double speedup = r.ipc / r_base.ipc;
             t.add(speedup, 3);
             speedups[c].push_back(speedup);
+            fm.value("apps." + bench::apps()[a] + ".speedup." +
+                         cfg_names[c],
+                     speedup);
         }
     }
     t.beginRow();
     t.add("Hmean");
-    for (std::size_t c = 0; c < cfgs.size(); ++c)
+    for (std::size_t c = 0; c < cfgs.size(); ++c) {
         t.add(harmonicMean(speedups[c]), 3);
+        fm.value("summary.hmean." + cfg_names[c],
+                 harmonicMean(speedups[c]));
+    }
+    fm.write();
     t.print(std::cout);
     bench::sweepFooter();
 

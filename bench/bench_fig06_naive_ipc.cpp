@@ -24,6 +24,7 @@ main()
     TextTable t({"app", "naive IPC", "ideal IPC", "extraAcc",
                  "fast%"});
     std::vector<double> naive_v, ideal_v, extra_v;
+    bench::FigureMetrics fm("fig06");
 
     // Submit the whole sweep, then fetch in print order.
     std::vector<std::array<bench::RunFuture, 3>> futures;
@@ -66,6 +67,12 @@ main()
         naive_v.push_back(r.ipc / r_base.ipc);
         ideal_v.push_back(ri.ipc / r_base.ipc);
         extra_v.push_back(extra);
+        fm.value("apps." + app + ".naiveIpc", r.ipc / r_base.ipc);
+        fm.value("apps." + app + ".idealIpc",
+                 ri.ipc / r_base.ipc);
+        fm.value("apps." + app + ".extraAccess", extra);
+        fm.value("apps." + app + ".fastFraction",
+                 r.fastFraction);
     }
     t.beginRow();
     t.add("Mean");
@@ -73,6 +80,10 @@ main()
     t.add(harmonicMean(ideal_v), 3);
     t.add(arithmeticMean(extra_v), 3);
     t.add("");
+    fm.value("summary.hmeanNaive", harmonicMean(naive_v));
+    fm.value("summary.hmeanIdeal", harmonicMean(ideal_v));
+    fm.value("summary.meanExtra", arithmeticMean(extra_v));
+    fm.write();
     t.print(std::cout);
     bench::sweepFooter();
 

@@ -73,6 +73,7 @@ main()
         }
     }
 
+    bench::FigureMetrics fm("fig09");
     std::vector<double> avg_acc(3, 0.0);
     std::size_t i = 0;
     for (const auto &app : bench::apps()) {
@@ -87,12 +88,24 @@ main()
             t.add(row.extra, 3);
             t.add(row.acc, 3);
             avg_acc[k - 1] += row.acc;
+            const std::string prefix = "apps." + app + ".bits" +
+                                       std::to_string(k) + ".";
+            fm.value(prefix + "correctSpec", row.cSpec);
+            fm.value(prefix + "correctBypass", row.cByp);
+            fm.value(prefix + "oppLoss", row.opp);
+            fm.value(prefix + "extraAccess", row.extra);
+            fm.value(prefix + "accuracy", row.acc);
         }
     }
     t.print(std::cout);
     bench::sweepFooter();
 
     const auto n = static_cast<double>(bench::apps().size());
+    for (unsigned k = 1; k <= 3; ++k) {
+        fm.value("summary.accuracy.bits" + std::to_string(k),
+                 avg_acc[k - 1] / n);
+    }
+    fm.write();
     std::cout << "\nAverage accuracy: 1-bit "
               << avg_acc[0] / n << ", 2-bit " << avg_acc[1] / n
               << ", 3-bit " << avg_acc[2] / n

@@ -74,6 +74,7 @@ main()
         }
     }
 
+    bench::FigureMetrics fm("fig12");
     std::vector<double> avg_fast(3, 0.0);
     std::size_t i = 0;
     for (const auto &app : bench::apps()) {
@@ -87,12 +88,23 @@ main()
             t.add(row.slow, 3);
             t.add(row.fast, 3);
             avg_fast[k - 1] += row.fast;
+            const std::string prefix = "apps." + app + ".bits" +
+                                       std::to_string(k) + ".";
+            fm.value(prefix + "correctSpec", row.cSpec);
+            fm.value(prefix + "idbHit", row.idbHit);
+            fm.value(prefix + "slow", row.slow);
+            fm.value(prefix + "fast", row.fast);
         }
     }
     t.print(std::cout);
     bench::sweepFooter();
 
     const auto n = static_cast<double>(bench::apps().size());
+    for (unsigned k = 1; k <= 3; ++k) {
+        fm.value("summary.fast.bits" + std::to_string(k),
+                 avg_fast[k - 1] / n);
+    }
+    fm.write();
     std::cout << "\nAverage fast fraction: 1-bit "
               << avg_fast[0] / n << ", 2-bit " << avg_fast[1] / n
               << ", 3-bit " << avg_fast[2] / n

@@ -23,6 +23,7 @@ main()
     TextTable t({"app", "SIPT IPC", "ideal IPC", "extraAcc",
                  "fast%"});
     std::vector<double> sipt_v, ideal_v, extra_v;
+    bench::FigureMetrics fm("fig13");
 
     // Submit the whole sweep, then fetch in print order.
     std::vector<std::array<bench::RunFuture, 3>> futures;
@@ -63,6 +64,12 @@ main()
         sipt_v.push_back(r.ipc / r_base.ipc);
         ideal_v.push_back(ri.ipc / r_base.ipc);
         extra_v.push_back(extra);
+        fm.value("apps." + app + ".siptIpc", r.ipc / r_base.ipc);
+        fm.value("apps." + app + ".idealIpc",
+                 ri.ipc / r_base.ipc);
+        fm.value("apps." + app + ".extraAccess", extra);
+        fm.value("apps." + app + ".fastFraction",
+                 r.fastFraction);
     }
     t.beginRow();
     t.add("Hmean");
@@ -70,6 +77,10 @@ main()
     t.add(harmonicMean(ideal_v), 3);
     t.add(arithmeticMean(extra_v), 3);
     t.add("");
+    fm.value("summary.hmeanSipt", harmonicMean(sipt_v));
+    fm.value("summary.hmeanIdeal", harmonicMean(ideal_v));
+    fm.value("summary.meanExtra", arithmeticMean(extra_v));
+    fm.write();
     t.print(std::cout);
     bench::sweepFooter();
 

@@ -24,6 +24,7 @@ main()
     TextTable t({"app", "SIPT E", "ideal E", "dynE sipt",
                  "dynE base"});
     std::vector<double> sipt_v, ideal_v;
+    bench::FigureMetrics fm("fig14");
 
     // Submit the whole sweep, then fetch in print order.
     std::vector<std::array<bench::RunFuture, 3>> futures;
@@ -59,6 +60,10 @@ main()
         t.add(r_base.energy.dynamicTotal() / base_total, 3);
         sipt_v.push_back(r.energy.total() / base_total);
         ideal_v.push_back(ri.energy.total() / base_total);
+        fm.value("apps." + app + ".siptEnergy",
+                 r.energy.total() / base_total);
+        fm.value("apps." + app + ".idealEnergy",
+                 ri.energy.total() / base_total);
     }
     t.beginRow();
     t.add("Mean");
@@ -66,6 +71,9 @@ main()
     t.add(arithmeticMean(ideal_v), 3);
     t.add("");
     t.add("");
+    fm.value("summary.meanSipt", arithmeticMean(sipt_v));
+    fm.value("summary.meanIdeal", arithmeticMean(ideal_v));
+    fm.write();
     t.print(std::cout);
     bench::sweepFooter();
 

@@ -19,11 +19,13 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
 #include "os/fragmenter.hh"
+#include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "sim/system.hh"
 #include "workload/profile.hh"
@@ -179,6 +181,75 @@ sweepFooter()
 {
     sim::SweepRunner::global().printStats(std::cerr);
 }
+
+/** Directory for per-figure metrics JSON (SIPT_METRICS env);
+ *  empty = metrics export off. */
+inline std::string
+metricsDir()
+{
+    if (const char *env = std::getenv("SIPT_METRICS"))
+        return env;
+    return "";
+}
+
+/**
+ * Machine-readable companion of one figure's printed table: the
+ * bench records per-app values and summary statistics under dotted
+ * paths, and write() drops "<SIPT_METRICS>/<figure>.json" for
+ * tools/sipt-claims. Everything is a no-op (and nothing touches
+ * stdout either way) when SIPT_METRICS is unset, so figure output
+ * stays byte-identical.
+ */
+class FigureMetrics
+{
+  public:
+    explicit FigureMetrics(std::string figure)
+        : figure_(std::move(figure)), dir_(metricsDir())
+    {
+    }
+
+    bool enabled() const { return !dir_.empty(); }
+
+    /** Record one floating-point metric. */
+    void
+    value(const std::string &path, double v)
+    {
+        if (enabled())
+            registry_.setValue(path, v);
+    }
+
+    /** Record one counter. */
+    void
+    counter(const std::string &path, std::uint64_t v)
+    {
+        if (enabled())
+            registry_.setCounter(path, v);
+    }
+
+    /** Record every field of @p result under @p prefix. */
+    void
+    run(const std::string &prefix, const sim::RunResult &result)
+    {
+        if (enabled())
+            sim::fillRunMetrics(registry_, prefix, result);
+    }
+
+    /** Write the figure's JSON file (no-op when disabled). */
+    void
+    write()
+    {
+        if (enabled()) {
+            sim::writeMetricsJson(dir_ + "/" + figure_ + ".json",
+                                  figure_, measureRefs(),
+                                  registry_);
+        }
+    }
+
+  private:
+    std::string figure_;
+    std::string dir_;
+    MetricsRegistry registry_;
+};
 
 } // namespace sipt::bench
 

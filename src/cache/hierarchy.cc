@@ -9,22 +9,30 @@ BelowL1::BelowL1(const TimingCacheParams *l2_params,
 {
     if (l2_params != nullptr)
         l2_ = std::make_unique<TimingCache>(*l2_params);
+    trace_ = trace::Tracer::globalIfEnabled();
+    if (trace_)
+        traceLane_ = trace_->newLane();
 }
 
 Cycles
 BelowL1::fill(Addr paddr, Cycles now)
 {
-    if (!l2_)
-        return fillFromLlc(paddr, now, false);
-
-    Cycles latency = l2_->latency();
-    const auto l2_res = l2_->read(paddr);
-    if (l2_res.writebackAddr) {
-        // L2 victim flows into the LLC off the critical path.
-        fillFromLlc(*l2_res.writebackAddr, now + latency, true);
+    Cycles latency;
+    if (!l2_) {
+        latency = fillFromLlc(paddr, now, false);
+    } else {
+        latency = l2_->latency();
+        const auto l2_res = l2_->read(paddr);
+        if (l2_res.writebackAddr) {
+            // L2 victim flows into the LLC off the critical path.
+            fillFromLlc(*l2_res.writebackAddr, now + latency,
+                        true);
+        }
+        if (!l2_res.hit)
+            latency += fillFromLlc(paddr, now + latency, false);
     }
-    if (!l2_res.hit)
-        latency += fillFromLlc(paddr, now + latency, false);
+    if (trace_)
+        trace_->fill(traceLane_, paddr, now, latency);
     return latency;
 }
 

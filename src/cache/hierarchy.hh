@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "cache/timing_cache.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "dram/dram.hh"
 
@@ -90,6 +91,9 @@ class BelowL1
     dram::Dram &dram_;
     std::uint64_t dramReads_ = 0;
     std::uint64_t dramWrites_ = 0;
+    /** Tracing hook; nullptr unless SIPT_TRACE is set. */
+    trace::Tracer *trace_ = nullptr;
+    std::uint64_t traceLane_ = 0;
 };
 
 } // namespace sipt::cache

@@ -8,6 +8,7 @@
 #ifndef SIPT_COMMON_STATS_HH
 #define SIPT_COMMON_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -55,15 +56,23 @@ class Distribution
         return count_ ? sum_ / static_cast<double>(count_) : 0.0;
     }
 
-    /** Population variance; 0 when empty. */
+    /** Population variance; 0 when empty. Clamped at 0: the
+     *  sum-of-squares formula can go fractionally negative from
+     *  rounding when all samples are (nearly) equal, which would
+     *  make stddev() a NaN. */
     double
     variance() const
     {
         if (count_ == 0)
             return 0.0;
         const double m = mean();
-        return sumSq_ / static_cast<double>(count_) - m * m;
+        const double v =
+            sumSq_ / static_cast<double>(count_) - m * m;
+        return v > 0.0 ? v : 0.0;
     }
+
+    /** Population standard deviation; 0 when empty. */
+    double stddev() const { return std::sqrt(variance()); }
 
   private:
     std::uint64_t count_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace sipt::cpu
 {
@@ -46,6 +47,9 @@ TraceCore::TraceCore(const CoreParams &params)
     }
     mshrRing_.assign(std::max<std::uint32_t>(params.mshrs, 1), 0.0);
     chainComp_.assign(numChains, 0.0);
+    trace_ = trace::Tracer::globalIfEnabled();
+    if (trace_)
+        traceLane_ = trace_->newLane();
 }
 
 std::uint32_t
@@ -160,6 +164,12 @@ TraceCore::run(TraceSource &source, MemPort &port,
     res.cycles = std::max(now_, retireEnvelope_) - start_cycles;
     res.instructions = instructions_ - start_insts;
     res.memRefs = memRefs_ - start_refs;
+    if (trace_) {
+        trace_->simSpan("core",
+                        params_.outOfOrder ? "core-run-ooo"
+                                           : "core-run-inorder",
+                        traceLane_, start_cycles, res.cycles);
+    }
     return res;
 }
 

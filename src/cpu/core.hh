@@ -34,6 +34,11 @@
 #include "common/types.hh"
 #include "cpu/trace_source.hh"
 
+namespace sipt::trace
+{
+class Tracer;
+} // namespace sipt::trace
+
 namespace sipt::cpu
 {
 
@@ -153,6 +158,10 @@ class TraceCore
     std::uint64_t missIndex_ = 0;
     /** In-order retire envelope (monotone completion front). */
     double retireEnvelope_ = 0.0;
+    /** Tracing hook (nullptr unless SIPT_TRACE is set): one
+     *  simulated-time span per run() call. */
+    trace::Tracer *trace_ = nullptr;
+    std::uint64_t traceLane_ = 0;
 };
 
 } // namespace sipt::cpu

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace sipt::predictor
 {
@@ -18,6 +19,20 @@ withSpecBits(IdbParams params, std::uint32_t spec_bits)
 
 } // namespace
 
+const char *
+indexSourceName(IndexSource source)
+{
+    switch (source) {
+      case IndexSource::VaBits:
+        return "va-bits";
+      case IndexSource::Reversed:
+        return "reversed";
+      case IndexSource::Idb:
+        return "idb";
+    }
+    return "?";
+}
+
 CombinedIndexPredictor::CombinedIndexPredictor(
     std::uint32_t spec_bits,
     const PerceptronParams &perceptron_params,
@@ -27,6 +42,9 @@ CombinedIndexPredictor::CombinedIndexPredictor(
 {
     if (spec_bits == 0 || spec_bits > 9)
         fatal("CombinedIndexPredictor: specBits must be in 1..9");
+    trace_ = trace::Tracer::globalIfEnabled();
+    if (trace_)
+        traceLane_ = trace_->newLane();
 }
 
 IndexPrediction
@@ -38,17 +56,16 @@ CombinedIndexPredictor::predict(Addr pc, Vpn vpn)
     if (perceptron_.predictSpeculate(pc)) {
         pred.bits = va_bits;
         pred.source = IndexSource::VaBits;
-        return pred;
-    }
-    if (specBits_ == 1) {
+    } else if (specBits_ == 1) {
         // Reversed prediction: "will change" + one bit means the
         // post-translation bit is the complement (paper, Sec. VI).
         pred.bits = va_bits ^ 1u;
         pred.source = IndexSource::Reversed;
-        return pred;
+    } else {
+        pred.bits = idb_.predictBits(pc, vpn);
+        pred.source = IndexSource::Idb;
     }
-    pred.bits = idb_.predictBits(pc, vpn);
-    pred.source = IndexSource::Idb;
+    lastPred_ = pred;
     return pred;
 }
 
@@ -57,6 +74,19 @@ CombinedIndexPredictor::update(Addr pc, Vpn vpn, Pfn pfn)
 {
     const bool unchanged =
         (vpn & mask(specBits_)) == (pfn & mask(specBits_));
+    if (trace_) {
+        const auto pa_bits =
+            static_cast<std::uint32_t>(pfn & mask(specBits_));
+        trace::PredictorEvent event;
+        event.predictor = "combined-index";
+        event.pc = pc;
+        event.seq = resolves_++;
+        event.decision = indexSourceName(lastPred_.source);
+        event.predicted = lastPred_.bits;
+        event.actual = pa_bits;
+        event.correct = lastPred_.bits == pa_bits;
+        trace_->predictor(traceLane_, event);
+    }
     perceptron_.train(pc, unchanged);
     idb_.update(pc, vpn, pfn);
 }

@@ -35,6 +35,9 @@ enum class IndexSource : std::uint8_t
     Idb,
 };
 
+/** Printable name of an index source. */
+const char *indexSourceName(IndexSource source);
+
 /** A combined prediction for one access. */
 struct IndexPrediction
 {
@@ -87,6 +90,13 @@ class CombinedIndexPredictor
     std::uint32_t specBits_;
     PerceptronBypassPredictor perceptron_;
     IndexDeltaBuffer idb_;
+    /** Last prediction, kept so update() can emit a trace event
+     *  correlating prediction and resolution (the usage protocol
+     *  is strictly predict-then-update per access). */
+    IndexPrediction lastPred_;
+    trace::Tracer *trace_ = nullptr;
+    std::uint64_t traceLane_ = 0;
+    std::uint64_t resolves_ = 0;
 };
 
 } // namespace sipt::predictor

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace sipt::predictor
 {
@@ -35,6 +36,9 @@ PerceptronBypassPredictor::PerceptronBypassPredictor(
     // perceptron outputs y = 0 which we already treat as speculate
     // (y >= 0), so no explicit bias initialisation is needed.
     historyReg_.assign(params.history, 1);
+    trace_ = trace::Tracer::globalIfEnabled();
+    if (trace_)
+        traceLane_ = trace_->newLane();
 }
 
 std::uint32_t
@@ -70,6 +74,18 @@ PerceptronBypassPredictor::train(Addr pc, bool unchanged)
     const int y = output(pc);
     const int t = unchanged ? 1 : -1;
     const bool mispredicted = (y >= 0) != unchanged;
+
+    if (trace_) {
+        trace::PredictorEvent event;
+        event.predictor = "bypass-perceptron";
+        event.pc = pc;
+        event.seq = resolves_++;
+        event.decision = y >= 0 ? "speculate" : "bypass";
+        event.predicted = y >= 0 ? 1 : 0;
+        event.actual = unchanged ? 1 : 0;
+        event.correct = !mispredicted;
+        trace_->predictor(traceLane_, event);
+    }
 
     if (mispredicted || std::abs(y) <= threshold_) {
         const std::size_t base =

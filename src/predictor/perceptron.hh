@@ -22,6 +22,11 @@
 
 #include "common/types.hh"
 
+namespace sipt::trace
+{
+class Tracer;
+} // namespace sipt::trace
+
 namespace sipt::predictor
 {
 
@@ -90,6 +95,12 @@ class PerceptronBypassPredictor
     /** Global outcome history as +/-1 values, newest at [0]. */
     std::vector<std::int8_t> historyReg_;
     std::uint64_t predictions_ = 0;
+    /** Tracing hook (nullptr unless SIPT_TRACE is set): train()
+     *  emits one decision event per resolved access, which covers
+     *  the cache-less trace-analysis benches too. */
+    trace::Tracer *trace_ = nullptr;
+    std::uint64_t traceLane_ = 0;
+    std::uint64_t resolves_ = 0;
 };
 
 } // namespace sipt::predictor

@@ -2,7 +2,10 @@
  * @file
  * Machine-readable result export: flattens RunResult records into
  * CSV so experiment sweeps can be post-processed (plotted against
- * the paper's figures) without scraping the bench tables.
+ * the paper's figures) without scraping the bench tables, and
+ * fills/serialises MetricsRegistry snapshots — the per-figure JSON
+ * files that tools/sipt-claims checks against the paper's claim
+ * envelopes.
  */
 
 #ifndef SIPT_SIM_REPORT_HH
@@ -12,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "sim/system.hh"
 
 namespace sipt::sim
@@ -35,6 +39,27 @@ void writeCsvRow(std::ostream &os, const ResultRow &row);
 /** Header + all rows. */
 void writeCsv(std::ostream &os,
               const std::vector<ResultRow> &rows);
+
+/**
+ * Register every interesting field of @p result under
+ * "<prefix>.<field>" in @p metrics (IPC, L1 counters, the
+ * speculation-outcome taxonomy, energy, TLB behaviour).
+ * @p prefix must be a valid dotted path, e.g. "apps.mcf.vipt".
+ */
+void fillRunMetrics(MetricsRegistry &metrics,
+                    const std::string &prefix,
+                    const RunResult &result);
+
+/**
+ * Serialise @p metrics to @p path as pretty-stable JSON:
+ * {"figure": <figure>, "refs": <refs>, "metrics": {...nested...}}.
+ * Fatal when the file cannot be written (a claims run must never
+ * silently produce nothing).
+ */
+void writeMetricsJson(const std::string &path,
+                      const std::string &figure,
+                      std::uint64_t refs,
+                      const MetricsRegistry &metrics);
 
 } // namespace sipt::sim
 

@@ -15,12 +15,41 @@
 
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace sipt::sim
 {
 
 namespace
 {
+
+/** Common origin for wall-clock trace spans, fixed on first use so
+ *  span timestamps are small positive microsecond offsets. */
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+/** Microseconds from the trace epoch to @p tp. */
+double
+traceUs(std::chrono::steady_clock::time_point tp)
+{
+    return std::chrono::duration<double, std::micro>(
+               tp - traceEpoch())
+        .count();
+}
+
+/** Display lane for the calling worker thread's wall-clock spans.
+ *  A hash keeps the tracer free of std::thread dependencies. */
+std::uint64_t
+traceWorkerLane()
+{
+    return std::hash<std::thread::id>{}(
+               std::this_thread::get_id()) &
+           0xffff;
+}
 
 /** Bump when the serialised key/result layout changes; stale
  *  cache files then simply miss instead of mis-parsing. */
@@ -345,6 +374,21 @@ SweepRunner::post(std::function<void()> work)
 }
 
 void
+SweepRunner::runGenericTraced(const std::function<void()> &work)
+{
+    trace::Tracer *tracer = trace::Tracer::globalIfEnabled();
+    if (!tracer) {
+        work();
+        return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    work();
+    const auto t1 = std::chrono::steady_clock::now();
+    tracer->span("sweep", "task", traceWorkerLane(), traceUs(t0),
+                 traceUs(t1) - traceUs(t0));
+}
+
+void
 SweepRunner::noteSubmitted()
 {
     std::lock_guard lock(cacheMu_);
@@ -492,11 +536,20 @@ SweepRunner::enqueue(const std::string &app,
         try {
             const auto t0 = std::chrono::steady_clock::now();
             RunResult result = runSingleCore(app, config);
-            const std::chrono::duration<double> dt =
-                std::chrono::steady_clock::now() - t0;
+            const auto t1 = std::chrono::steady_clock::now();
+            const std::chrono::duration<double> dt = t1 - t0;
             storeToDisk(key_json, false,
                         runResultToJson(result));
             noteJobDone(dt.count());
+            if (trace::Tracer *tracer =
+                    trace::Tracer::globalIfEnabled()) {
+                tracer->span(
+                    "sweep",
+                    "run:" + app + ":" +
+                        policyName(config.policy),
+                    traceWorkerLane(), traceUs(t0),
+                    traceUs(t1) - traceUs(t0));
+            }
             promise->set_value(std::move(result));
         } catch (...) {
             promise->set_exception(std::current_exception());
@@ -547,11 +600,20 @@ SweepRunner::enqueueMulticore(const std::vector<std::string> &mix,
         try {
             const auto t0 = std::chrono::steady_clock::now();
             MulticoreResult result = runMulticore(mix, config);
-            const std::chrono::duration<double> dt =
-                std::chrono::steady_clock::now() - t0;
+            const auto t1 = std::chrono::steady_clock::now();
+            const std::chrono::duration<double> dt = t1 - t0;
             storeToDisk(key_json, true,
                         multiResultToJson(result));
             noteJobDone(dt.count());
+            if (trace::Tracer *tracer =
+                    trace::Tracer::globalIfEnabled()) {
+                std::string name = "multi";
+                for (const auto &app : mix)
+                    name += ":" + app;
+                tracer->span("sweep", name, traceWorkerLane(),
+                             traceUs(t0),
+                             traceUs(t1) - traceUs(t0));
+            }
             promise->set_value(std::move(result));
         } catch (...) {
             promise->set_exception(std::current_exception());

@@ -154,7 +154,7 @@ class SweepRunner
             std::move(fn));
         auto fut = task->get_future().share();
         post([this, task] {
-            (*task)();
+            runGenericTraced([&] { (*task)(); });
             noteGenericDone();
         });
         return fut;
@@ -190,6 +190,11 @@ class SweepRunner
 
     /** Run @p work now (threads==1) or on the pool. */
     void post(std::function<void()> work);
+
+    /** Run one generic task, emitting a wall-clock trace span
+     *  around it when SIPT_TRACE is set (the clock reads live in
+     *  sweep.cc, which owns the nondeterminism allowance). */
+    void runGenericTraced(const std::function<void()> &work);
 
     void noteSubmitted();
     void noteGenericDone();

@@ -64,6 +64,9 @@ SiptL1Cache::SiptL1Cache(const L1Params &params,
             std::make_unique<predictor::CombinedIndexPredictor>(
                 specBits_, params.perceptron, params.idb);
     }
+    trace_ = trace::Tracer::globalIfEnabled();
+    if (trace_)
+        traceLane_ = trace_->newLane();
 }
 
 std::uint32_t
@@ -137,6 +140,7 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
 
     bool fast = true;
     Cycles ready = parallel_ready;
+    auto outcome = trace::AccessOutcome::Direct;
 
     if (specBits_ > 0) {
         const auto va_bits = static_cast<std::uint32_t>(
@@ -153,7 +157,9 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
           case IndexingPolicy::SiptNaive:
             if (unchanged) {
                 ++stats_.spec.correctSpeculation;
+                outcome = trace::AccessOutcome::Speculate;
             } else {
+                outcome = trace::AccessOutcome::Replay;
                 // Wasted speculative probe, then replay with the
                 // physical index once translation completes.
                 ++stats_.spec.extraAccess;
@@ -171,7 +177,9 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
             if (speculate) {
                 if (unchanged) {
                     ++stats_.spec.correctSpeculation;
+                    outcome = trace::AccessOutcome::Speculate;
                 } else {
+                    outcome = trace::AccessOutcome::Replay;
                     ++stats_.spec.extraAccess;
                     ++stats_.extraArrayAccesses;
                     ++stats_.arrayAccesses;
@@ -184,6 +192,7 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
                 // Bypass: wait for the PA; single array access.
                 fast = false;
                 ready = serial_ready;
+                outcome = trace::AccessOutcome::Bypass;
                 if (unchanged)
                     ++stats_.spec.opportunityLoss;
                 else
@@ -195,11 +204,16 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
           case IndexingPolicy::SiptCombined: {
             const auto pred = combined_->predict(ref.pc, vpn);
             if (pred.bits == pa_bits) {
-                if (pred.source == predictor::IndexSource::VaBits)
+                if (pred.source ==
+                    predictor::IndexSource::VaBits) {
                     ++stats_.spec.correctSpeculation;
-                else
+                    outcome = trace::AccessOutcome::Speculate;
+                } else {
                     ++stats_.spec.idbHit;
+                    outcome = trace::AccessOutcome::DeltaHit;
+                }
             } else {
+                outcome = trace::AccessOutcome::Replay;
                 ++stats_.spec.extraAccess;
                 ++stats_.extraArrayAccesses;
                 ++stats_.arrayAccesses;
@@ -221,7 +235,22 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
     else
         ++stats_.slowAccesses;
 
-    return finishAccess(ref, paddr, now, ready, fast);
+    const L1AccessResult res =
+        finishAccess(ref, paddr, now, ready, fast);
+    if (trace_) {
+        trace::AccessEvent event;
+        event.policy = policyName(params_.policy);
+        event.outcome = outcome;
+        event.pc = ref.pc;
+        event.vaddr = ref.vaddr;
+        event.cycle = now;
+        event.tlbLatency = xlat_done;
+        event.l1Latency = res.latency;
+        event.hit = res.hit;
+        event.fast = res.fast;
+        trace_->access(traceLane_, event);
+    }
+    return res;
 }
 
 L1AccessResult

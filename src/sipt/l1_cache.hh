@@ -39,6 +39,7 @@
 #include "cache/cache_array.hh"
 #include "cache/hierarchy.hh"
 #include "cache/way_predictor.hh"
+#include "common/trace.hh"
 #include "common/types.hh"
 #include "predictor/combined.hh"
 #include "predictor/perceptron.hh"
@@ -215,6 +216,11 @@ class SiptL1Cache
     /** Two-stage predictor for the Combined policy. */
     std::unique_ptr<predictor::CombinedIndexPredictor> combined_;
     L1Stats stats_;
+    /** Process tracer when SIPT_TRACE is set, else nullptr; cached
+     *  at construction so the per-access cost when disabled is one
+     *  branch. */
+    trace::Tracer *trace_ = nullptr;
+    std::uint64_t traceLane_ = 0;
 };
 
 } // namespace sipt

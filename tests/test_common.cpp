@@ -107,6 +107,45 @@ TEST(Distribution, TracksMoments)
     EXPECT_EQ(d.count(), 0u);
 }
 
+TEST(Distribution, EmptyMomentsAreZeroNotNan)
+{
+    // mean()/variance()/stddev() on an empty distribution must be
+    // well-defined zeros, not 0/0 NaNs that poison downstream
+    // aggregation.
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(d.mean()));
+    EXPECT_FALSE(std::isnan(d.variance()));
+    EXPECT_FALSE(std::isnan(d.stddev()));
+    d.sample(1.0);
+    d.reset();
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, ConstantSamplesHaveZeroStddev)
+{
+    // The sum-of-squares variance can go fractionally negative
+    // from rounding when every sample is equal; unclamped, sqrt of
+    // that is NaN.
+    Distribution d;
+    for (int i = 0; i < 1000; ++i)
+        d.sample(0.1); // 0.1 is not exactly representable
+    EXPECT_GE(d.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+    EXPECT_NEAR(d.stddev(), 0.0, 1e-6);
+}
+
+TEST(Distribution, StddevMatchesVariance)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(2.0);
+    d.sample(3.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.0 / 3.0), 1e-12);
+}
+
 TEST(Means, Harmonic)
 {
     EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
