@@ -96,6 +96,15 @@ CacheArray::setDirty(std::uint32_t set, std::uint32_t way)
     l.dirty = true;
 }
 
+bool
+CacheArray::dirtyAt(std::uint32_t set, std::uint32_t way) const
+{
+    SIPT_ASSERT(set < numSets_ && way < assoc_, "index range");
+    const Line &l = line(set, way);
+    SIPT_ASSERT(l.valid, "dirtyAt on invalid line");
+    return l.dirty;
+}
+
 std::optional<Eviction>
 CacheArray::insert(std::uint32_t set, Addr paddr, bool dirty)
 {

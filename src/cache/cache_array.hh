@@ -92,6 +92,9 @@ class CacheArray
     /** Mark the line at (@p set, @p way) dirty. */
     void setDirty(std::uint32_t set, std::uint32_t way);
 
+    /** Dirty bit of the line at (@p set, @p way). */
+    bool dirtyAt(std::uint32_t set, std::uint32_t way) const;
+
     /**
      * Insert the line containing @p paddr into @p set.
      * @return the eviction forced by the fill, if any

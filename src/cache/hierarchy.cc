@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include "common/logging.hh"
+
 namespace sipt::cache
 {
 
@@ -9,6 +11,12 @@ BelowL1::BelowL1(const TimingCacheParams *l2_params,
 {
     if (l2_params != nullptr)
         l2_ = std::make_unique<TimingCache>(*l2_params);
+    const check::Options check = check::Options::fromEnv();
+    if (check.enabled) {
+        fillTracker_ = std::make_unique<check::FillTracker>(
+            static_cast<std::uint32_t>(lineSize));
+        checkAbort_ = check.abortOnDivergence;
+    }
     trace_ = trace::Tracer::globalIfEnabled();
     if (trace_)
         traceLane_ = trace_->newLane();
@@ -17,6 +25,8 @@ BelowL1::BelowL1(const TimingCacheParams *l2_params,
 Cycles
 BelowL1::fill(Addr paddr, Cycles now)
 {
+    if (fillTracker_)
+        fillTracker_->onFill(paddr);
     Cycles latency;
     if (!l2_) {
         latency = fillFromLlc(paddr, now, false);
@@ -39,6 +49,11 @@ BelowL1::fill(Addr paddr, Cycles now)
 void
 BelowL1::writeback(Addr paddr, Cycles now)
 {
+    if (fillTracker_) {
+        const std::string error = fillTracker_->onWriteback(paddr);
+        if (!error.empty() && checkAbort_)
+            panic("SIPT_CHECK writeback shim: ", error);
+    }
     if (l2_) {
         const auto res = l2_->write(paddr);
         if (res.writebackAddr)

@@ -15,6 +15,8 @@
 #include <memory>
 
 #include "cache/timing_cache.hh"
+#include "check/golden_model.hh"
+#include "check/options.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "dram/dram.hh"
@@ -72,6 +74,14 @@ class BelowL1
     std::uint64_t dramReads() const { return dramReads_; }
     std::uint64_t dramWrites() const { return dramWrites_; }
 
+    /** Writeback-legitimacy shim, or nullptr when SIPT_CHECK is
+     *  off. Sticky first failure is in fillTracker()->failure(). */
+    const check::FillTracker *
+    fillTracker() const
+    {
+        return fillTracker_.get();
+    }
+
     /** Zero this view's counters and the private L2's (the shared
      *  LLC/DRAM are reset by their owner). */
     void
@@ -91,6 +101,10 @@ class BelowL1
     dram::Dram &dram_;
     std::uint64_t dramReads_ = 0;
     std::uint64_t dramWrites_ = 0;
+    /** Fill/writeback legitimacy checker (SIPT_CHECK). */
+    std::unique_ptr<check::FillTracker> fillTracker_;
+    /** panic() instead of recording (SIPT_CHECK_ABORT). */
+    bool checkAbort_ = false;
     /** Tracing hook; nullptr unless SIPT_TRACE is set. */
     trace::Tracer *trace_ = nullptr;
     std::uint64_t traceLane_ = 0;

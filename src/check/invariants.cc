@@ -1,0 +1,150 @@
+#include "check/invariants.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace sipt::check
+{
+
+const char *
+policyClassName(PolicyClass cls)
+{
+    switch (cls) {
+      case PolicyClass::Direct:
+        return "direct";
+      case PolicyClass::Naive:
+        return "naive";
+      case PolicyClass::Bypass:
+        return "bypass";
+      case PolicyClass::Combined:
+        return "combined";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Format "name (lhs) != name (rhs)" for a failed identity. */
+std::string
+identity(const char *what, std::uint64_t lhs, std::uint64_t rhs)
+{
+    std::ostringstream os;
+    os << what << ": " << lhs << " != " << rhs;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+checkStatsClosure(const StatsView &s)
+{
+    if (s.loads + s.stores != s.accesses) {
+        return identity("loads+stores != accesses",
+                        s.loads + s.stores, s.accesses);
+    }
+    if (s.hits + s.misses != s.accesses) {
+        return identity("hits+misses != accesses",
+                        s.hits + s.misses, s.accesses);
+    }
+    if (s.fastAccesses + s.slowAccesses != s.accesses) {
+        return identity("fast+slow != accesses",
+                        s.fastAccesses + s.slowAccesses,
+                        s.accesses);
+    }
+    if (s.accesses + s.extraArrayAccesses != s.arrayAccesses) {
+        return identity("accesses+extra != arrayAccesses",
+                        s.accesses + s.extraArrayAccesses,
+                        s.arrayAccesses);
+    }
+    if (s.extraAccess != s.extraArrayAccesses) {
+        return identity("spec.extraAccess != extraArrayAccesses",
+                        s.extraAccess, s.extraArrayAccesses);
+    }
+
+    // Per-policy partition of the speculation taxonomy: every
+    // access lands in exactly one bucket of the buckets the policy
+    // can produce, and the other buckets stay zero.
+    switch (s.policy) {
+      case PolicyClass::Direct:
+        if (s.correctSpeculation || s.correctBypass ||
+            s.opportunityLoss || s.extraAccess || s.idbHit) {
+            return "direct policy must keep all speculation "
+                   "counters zero";
+        }
+        break;
+      case PolicyClass::Naive:
+        if (s.correctSpeculation + s.extraAccess != s.accesses) {
+            return identity(
+                "naive: correctSpec+extra != accesses",
+                s.correctSpeculation + s.extraAccess, s.accesses);
+        }
+        if (s.correctBypass || s.opportunityLoss || s.idbHit)
+            return "naive policy cannot bypass or hit the IDB";
+        break;
+      case PolicyClass::Bypass:
+        if (s.correctSpeculation + s.extraAccess + s.correctBypass +
+                s.opportunityLoss !=
+            s.accesses) {
+            return identity(
+                "bypass: spec buckets != accesses",
+                s.correctSpeculation + s.extraAccess +
+                    s.correctBypass + s.opportunityLoss,
+                s.accesses);
+        }
+        if (s.idbHit)
+            return "bypass policy cannot hit the IDB";
+        break;
+      case PolicyClass::Combined:
+        if (s.correctSpeculation + s.idbHit + s.extraAccess !=
+            s.accesses) {
+            return identity(
+                "combined: correctSpec+idb+extra != accesses",
+                s.correctSpeculation + s.idbHit + s.extraAccess,
+                s.accesses);
+        }
+        if (s.correctBypass || s.opportunityLoss)
+            return "combined policy never bypasses outright";
+        break;
+    }
+    return {};
+}
+
+std::string
+checkEnergyClosure(const StatsView &s)
+{
+    // Absolute tolerance scaled by the number of accumulations:
+    // each += can contribute half an ulp of drift.
+    const double tolerance =
+        1e-9 * (static_cast<double>(s.arrayAccesses) + 1.0);
+
+    if (s.weightedArrayAccesses >
+        static_cast<double>(s.arrayAccesses) + tolerance) {
+        std::ostringstream os;
+        os << "weightedArrayAccesses ("
+           << s.weightedArrayAccesses
+           << ") exceeds arrayAccesses (" << s.arrayAccesses
+           << ")";
+        return os.str();
+    }
+
+    // Exact conservation: the only discount way prediction may ever
+    // apply is 1/assoc on a correctly predicted hit; every other
+    // probe — including a wasted replay probe of the wrong set — is
+    // a full-cost read.
+    const double discount =
+        static_cast<double>(s.wayPredCorrect) *
+        (1.0 - 1.0 / static_cast<double>(s.assoc));
+    const double expected =
+        static_cast<double>(s.arrayAccesses) - discount;
+    if (std::fabs(s.weightedArrayAccesses - expected) > tolerance) {
+        std::ostringstream os;
+        os << "energy conservation: weightedArrayAccesses ("
+           << s.weightedArrayAccesses << ") != arrayAccesses - "
+           << "wayPredCorrect*(1-1/assoc) (" << expected << ")";
+        return os.str();
+    }
+    return {};
+}
+
+} // namespace sipt::check

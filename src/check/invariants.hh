@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pure closure/conservation invariants over the L1 counters.
+ *
+ * These encode the paper's accounting identities: speculation can
+ * move an access between the fast and slow buckets and can add
+ * wasted array probes, but every access is counted exactly once in
+ * each partition, and the energy-weighted probe count can never
+ * exceed the raw probe count (way prediction only ever discounts a
+ * correctly predicted hit). The checks run per access from the
+ * differential checker and are also unit-tested directly, so a
+ * counter that silently drifts is caught the moment it happens
+ * rather than after it has corrupted a figure.
+ */
+
+#ifndef SIPT_CHECK_INVARIANTS_HH
+#define SIPT_CHECK_INVARIANTS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sipt::check
+{
+
+/**
+ * How the indexing policy partitions speculative accesses. The L1
+ * controller maps its IndexingPolicy here (Direct covers VIPT,
+ * Ideal, and any SIPT policy on a geometry with zero speculative
+ * bits, where the speculation path is never entered).
+ */
+enum class PolicyClass : std::uint8_t
+{
+    Direct,
+    Naive,
+    Bypass,
+    Combined,
+};
+
+/** Printable class name. */
+const char *policyClassName(PolicyClass cls);
+
+/**
+ * Snapshot of every counter the invariants relate. Decoupled from
+ * sipt::L1Stats so the check layer stays below the L1 controller in
+ * the library graph; the controller fills it in one place.
+ */
+struct StatsView
+{
+    PolicyClass policy = PolicyClass::Direct;
+    std::uint32_t assoc = 1;
+    std::uint64_t accesses = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t fastAccesses = 0;
+    std::uint64_t slowAccesses = 0;
+    std::uint64_t extraArrayAccesses = 0;
+    std::uint64_t arrayAccesses = 0;
+    double weightedArrayAccesses = 0.0;
+    std::uint64_t correctSpeculation = 0;
+    std::uint64_t correctBypass = 0;
+    std::uint64_t opportunityLoss = 0;
+    std::uint64_t extraAccess = 0;
+    std::uint64_t idbHit = 0;
+    /** Way-prediction hits charged at 1/assoc (0 when way
+     *  prediction is disabled). */
+    std::uint64_t wayPredCorrect = 0;
+};
+
+/**
+ * Check the counting identities (hits+misses == accesses,
+ * fast+slow == accesses, the per-policy speculation partition,
+ * arrayAccesses == accesses + extraArrayAccesses).
+ *
+ * @return empty string when all identities hold, else a
+ *         description of the first violated identity
+ */
+std::string checkStatsClosure(const StatsView &stats);
+
+/**
+ * Check energy conservation: weightedArrayAccesses never exceeds
+ * arrayAccesses, and equals arrayAccesses minus the way-prediction
+ * discount exactly — every probe is a full-cost read except a
+ * correctly way-predicted hit at 1/assoc. A replayed (wasted)
+ * probe of the wrong set must be charged as a full read.
+ *
+ * @return empty string when conserved, else a description
+ */
+std::string checkEnergyClosure(const StatsView &stats);
+
+} // namespace sipt::check
+
+#endif // SIPT_CHECK_INVARIANTS_HH

@@ -1,0 +1,70 @@
+#include "check/options.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sipt::check
+{
+
+const char *
+mutationName(Mutation mutation)
+{
+    switch (mutation) {
+      case Mutation::None:
+        return "none";
+      case Mutation::DropTagCheck:
+        return "tag";
+      case Mutation::DropDirty:
+        return "dirty";
+      case Mutation::DropWriteback:
+        return "writeback";
+    }
+    return "?";
+}
+
+Mutation
+mutationFromString(const char *name)
+{
+    if (name == nullptr || *name == '\0' ||
+        std::strcmp(name, "none") == 0) {
+        return Mutation::None;
+    }
+    if (std::strcmp(name, "tag") == 0)
+        return Mutation::DropTagCheck;
+    if (std::strcmp(name, "dirty") == 0)
+        return Mutation::DropDirty;
+    if (std::strcmp(name, "writeback") == 0)
+        return Mutation::DropWriteback;
+    fatal("SIPT_CHECK_MUTATE: unknown mutation '", name,
+          "' (expected tag, dirty, or writeback)");
+}
+
+namespace
+{
+
+/** True when @p name is set to a non-empty, non-"0" value. */
+bool
+envFlag(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr && *value != '\0' &&
+           std::strcmp(value, "0") != 0;
+}
+
+} // namespace
+
+Options
+Options::fromEnv()
+{
+    Options options;
+    options.enabled = envFlag("SIPT_CHECK");
+    options.abortOnDivergence = envFlag("SIPT_CHECK_ABORT");
+    options.recordEvents = envFlag("SIPT_CHECK_RECORD");
+    options.mutation =
+        mutationFromString(std::getenv("SIPT_CHECK_MUTATE"));
+    return options;
+}
+
+} // namespace sipt::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/options.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -47,6 +48,7 @@ TraceCore::TraceCore(const CoreParams &params)
     }
     mshrRing_.assign(std::max<std::uint32_t>(params.mshrs, 1), 0.0);
     chainComp_.assign(numChains, 0.0);
+    checkLatencies_ = check::Options::fromEnv().enabled;
     trace_ = trace::Tracer::globalIfEnabled();
     if (trace_)
         traceLane_ = trace_->newLane();
@@ -118,6 +120,18 @@ TraceCore::run(TraceSource &source, MemPort &port,
         bool miss = false;
         const Cycles latency = port.access(
             ref, static_cast<Cycles>(disp), miss);
+        if (checkLatencies_) {
+            // Every access takes at least one cycle, and nothing in
+            // the modelled hierarchy (DRAM queueing included) can
+            // legitimately exceed ~10M cycles: a larger value means
+            // an underflowed subtraction or a runaway queue.
+            if (latency == 0 || latency > 10'000'000) {
+                panic("SIPT_CHECK: memory port returned an "
+                      "implausible latency of ", latency,
+                      " cycles for ref va 0x", std::hex,
+                      ref.vaddr, std::dec, " (miss=", miss, ")");
+            }
+        }
         double comp = disp + static_cast<double>(latency);
 
         // MSHR constraint: with all miss registers busy, the miss

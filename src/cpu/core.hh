@@ -158,6 +158,9 @@ class TraceCore
     std::uint64_t missIndex_ = 0;
     /** In-order retire envelope (monotone completion front). */
     double retireEnvelope_ = 0.0;
+    /** SIPT_CHECK shim: sanity-check every latency the memory
+     *  port reports (see run()). */
+    bool checkLatencies_ = false;
     /** Tracing hook (nullptr unless SIPT_TRACE is set): one
      *  simulated-time span per run() call. */
     trace::Tracer *trace_ = nullptr;

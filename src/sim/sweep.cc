@@ -53,7 +53,7 @@ traceWorkerLane()
 
 /** Bump when the serialised key/result layout changes; stale
  *  cache files then simply miss instead of mis-parsing. */
-constexpr std::uint64_t cacheFormatVersion = 1;
+constexpr std::uint64_t cacheFormatVersion = 2;
 
 unsigned
 threadsFromEnv()
@@ -82,6 +82,9 @@ configToJson(const SystemConfig &c)
     j.set("outOfOrder", c.outOfOrder);
     j.set("l1Config",
           std::uint64_t{static_cast<std::uint8_t>(c.l1Config)});
+    j.set("l1SizeBytes", c.l1SizeBytes);
+    j.set("l1Assoc", std::uint64_t{c.l1Assoc});
+    j.set("l1HitLatency", c.l1HitLatency);
     j.set("policy",
           std::uint64_t{static_cast<std::uint8_t>(c.policy)});
     j.set("wayPrediction", c.wayPrediction);
@@ -93,6 +96,7 @@ configToJson(const SystemConfig &c)
     j.set("measureRefs", c.measureRefs);
     j.set("seed", c.seed);
     j.set("footprintScale", c.footprintScale);
+    j.set("check", c.check);
     return j;
 }
 
@@ -187,6 +191,9 @@ runResultToJson(const RunResult &r)
     j.set("dtlbHitRate", r.dtlbHitRate);
     j.set("pageWalks", r.pageWalks);
     j.set("l1Mpki", r.l1Mpki);
+    j.set("checkDigest", r.checkDigest);
+    j.set("checkEvents", r.checkEvents);
+    j.set("checkFailure", r.checkFailure);
     return j;
 }
 
@@ -207,6 +214,9 @@ runResultFromJson(const Json &j)
     r.dtlbHitRate = j.get("dtlbHitRate").asDouble();
     r.pageWalks = j.get("pageWalks").asUint();
     r.l1Mpki = j.get("l1Mpki").asDouble();
+    r.checkDigest = j.get("checkDigest").asUint();
+    r.checkEvents = j.get("checkEvents").asUint();
+    r.checkFailure = j.get("checkFailure").asString();
     return r;
 }
 

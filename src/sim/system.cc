@@ -28,7 +28,8 @@ class SystemPort : public cpu::MemPort
   public:
     SystemPort(vm::Mmu &mmu, const vm::PageTable &page_table,
                SiptL1Cache &l1)
-        : mmu_(mmu), pageTable_(page_table), l1_(l1)
+        : mmu_(mmu), pageTable_(page_table), l1_(l1),
+          check_(l1.params().check)
     {
     }
 
@@ -37,15 +38,49 @@ class SystemPort : public cpu::MemPort
     {
         const vm::MmuResult xlat =
             mmu_.translate(ref.vaddr, pageTable_, now);
+        if (check_.enabled)
+            checkTranslation(ref.vaddr, xlat.paddr);
         const L1AccessResult res = l1_.access(ref, xlat, now);
         miss_out = !res.hit;
         return res.latency;
     }
 
+    /** First golden-TLB mismatch, or empty. */
+    const std::string &checkFailure() const { return failure_; }
+
   private:
+    /**
+     * Golden-TLB check: whatever the timed MMU (TLB hierarchy +
+     * walker) returned must equal an untimed page-table walk —
+     * TLB state may only affect latency, never the translation.
+     */
+    void
+    checkTranslation(Addr vaddr, Addr paddr)
+    {
+        const auto golden = pageTable_.translate(vaddr);
+        std::string error;
+        if (!golden) {
+            error = detail::formatMessage(
+                "MMU translated unmapped va 0x", std::hex, vaddr);
+        } else if (golden->paddr != paddr) {
+            error = detail::formatMessage(
+                "TLB divergence at va 0x", std::hex, vaddr,
+                ": MMU pa 0x", paddr, ", page table pa 0x",
+                golden->paddr);
+        }
+        if (error.empty())
+            return;
+        if (check_.abortOnDivergence)
+            panic("SIPT_CHECK: ", error);
+        if (failure_.empty())
+            failure_ = error;
+    }
+
     vm::Mmu &mmu_;
     const vm::PageTable &pageTable_;
     SiptL1Cache &l1_;
+    check::Options check_;
+    std::string failure_;
 };
 
 /** PTE reads of the radix walker go through the hierarchy. */
@@ -123,10 +158,19 @@ buildCore(const SystemConfig &config, const std::string &app,
     const cache::TimingCacheParams l2 = l2Preset();
     inst.below = std::make_unique<cache::BelowL1>(
         config.outOfOrder ? &l2 : nullptr, llc, dram);
-    inst.l1 = std::make_unique<SiptL1Cache>(
-        l1Preset(config.l1Config, config.policy,
-                 config.wayPrediction),
-        *inst.below);
+    L1Params l1_params = l1Preset(config.l1Config, config.policy,
+                                  config.wayPrediction);
+    // Fuzzer geometry overrides (0 = keep the preset value).
+    if (config.l1SizeBytes != 0)
+        l1_params.geometry.sizeBytes = config.l1SizeBytes;
+    if (config.l1Assoc != 0)
+        l1_params.geometry.assoc = config.l1Assoc;
+    if (config.l1HitLatency != 0)
+        l1_params.hitLatency = config.l1HitLatency;
+    if (config.check)
+        l1_params.check.enabled = true;
+    inst.l1 = std::make_unique<SiptL1Cache>(l1_params,
+                                            *inst.below);
     inst.core = std::make_unique<cpu::TraceCore>([&] {
         cpu::CoreParams p = config.outOfOrder
                                 ? cpu::outOfOrderCoreParams()
@@ -189,6 +233,14 @@ collect(const std::string &app, const SystemConfig &config,
                          static_cast<double>(r.l1.misses) /
                          static_cast<double>(r.instructions)
                    : 0.0;
+    r.checkDigest = inst.l1->checkDigest();
+    r.checkEvents = inst.l1->checkEventCount();
+    // The first failure wins, whichever layer saw it.
+    r.checkFailure = inst.l1->checkFailure();
+    if (r.checkFailure.empty() && inst.below->fillTracker())
+        r.checkFailure = inst.below->fillTracker()->failure();
+    if (r.checkFailure.empty() && inst.port)
+        r.checkFailure = inst.port->checkFailure();
     (void)config;
     return r;
 }
@@ -239,6 +291,9 @@ hashValue(const SystemConfig &config)
     std::size_t h = 0;
     hashCombine(h, config.outOfOrder);
     hashCombine(h, static_cast<std::uint8_t>(config.l1Config));
+    hashCombine(h, config.l1SizeBytes);
+    hashCombine(h, config.l1Assoc);
+    hashCombine(h, config.l1HitLatency);
     hashCombine(h, static_cast<std::uint8_t>(config.policy));
     hashCombine(h, config.wayPrediction);
     hashCombine(h, config.radixWalker);
@@ -248,6 +303,7 @@ hashValue(const SystemConfig &config)
     hashCombine(h, config.measureRefs);
     hashCombine(h, config.seed);
     hashCombine(h, config.footprintScale);
+    hashCombine(h, config.check);
     return h;
 }
 

@@ -55,6 +55,13 @@ struct SystemConfig
      *  false = in-order/2-level. */
     bool outOfOrder = true;
     L1Config l1Config = L1Config::Baseline32K8;
+    /** Override the preset's L1 capacity (0 = keep the preset).
+     *  Used by the fuzzer to sample arbitrary geometries. */
+    std::uint64_t l1SizeBytes = 0;
+    /** Override the preset's L1 associativity (0 = keep). */
+    std::uint32_t l1Assoc = 0;
+    /** Override the preset's L1 hit latency (0 = keep). */
+    Cycles l1HitLatency = 0;
     IndexingPolicy policy = IndexingPolicy::Vipt;
     bool wayPrediction = false;
     /**
@@ -75,6 +82,13 @@ struct SystemConfig
     /** Scale factor applied to application footprints (used by
      *  the multicore driver to co-fit four apps). */
     double footprintScale = 1.0;
+    /**
+     * Force differential golden-model checking for this run, in
+     * addition to the SIPT_CHECK environment gate (the fuzzer sets
+     * this so RunResult::checkDigest is always populated). Part of
+     * the run-cache key because it changes the result payload.
+     */
+    bool check = false;
 
     /**
      * Field-wise equality; together with hashValue() this makes a
@@ -109,6 +123,16 @@ struct RunResult
     std::uint64_t pageWalks = 0;
     /** L1 misses per kilo-instruction. */
     double l1Mpki = 0.0;
+    /** Stable digest of the measured-phase functional event
+     *  stream (0 unless SIPT_CHECK was on). Policy-invariant:
+     *  every indexing policy must produce the same digest for the
+     *  same (app, geometry, workload). */
+    std::uint64_t checkDigest = 0;
+    /** Events behind checkDigest (0 unless SIPT_CHECK). */
+    std::uint64_t checkEvents = 0;
+    /** First golden-model divergence, invariant violation, TLB
+     *  mismatch, or writeback-shim failure; empty when clean. */
+    std::string checkFailure;
 };
 
 /**

@@ -64,6 +64,12 @@ SiptL1Cache::SiptL1Cache(const L1Params &params,
             std::make_unique<predictor::CombinedIndexPredictor>(
                 specBits_, params.perceptron, params.idb);
     }
+    if (params.check.enabled) {
+        checker_ = std::make_unique<check::DifferentialChecker>(
+            params.check, params.geometry.sizeBytes,
+            params.geometry.assoc, params.geometry.lineBytes,
+            params.geometry.repl == cache::ReplPolicy::Lru);
+    }
     trace_ = trace::Tracer::globalIfEnabled();
     if (trace_)
         traceLane_ = trace_->newLane();
@@ -72,6 +78,12 @@ SiptL1Cache::SiptL1Cache(const L1Params &params,
 std::uint32_t
 SiptL1Cache::physSpecBits(Addr paddr) const
 {
+    // Degenerate VIPT-feasible geometry: no index bit lies above
+    // the page offset, so the bit range below would be inverted
+    // (pageShift - 1 down to pageShift). There is nothing to
+    // speculate on; the answer is the empty bit string.
+    if (specBits_ == 0)
+        return 0;
     return static_cast<std::uint32_t>(
         bits(paddr, pageShift + specBits_ - 1, pageShift));
 }
@@ -85,6 +97,10 @@ SiptL1Cache::physSet(Addr paddr) const
 std::uint32_t
 SiptL1Cache::specSet(Addr vaddr, std::uint32_t spec_bits) const
 {
+    // With no speculative bits the set is fully determined by the
+    // page offset, which VA and PA share.
+    if (specBits_ == 0)
+        return array_.setOf(vaddr);
     // Replace the index bits above the page offset with the
     // speculated values; bits below the page offset are identical
     // in VA and PA.
@@ -165,8 +181,10 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
                 ++stats_.spec.extraAccess;
                 ++stats_.extraArrayAccesses;
                 ++stats_.arrayAccesses;
-                stats_.weightedArrayAccesses +=
-                    wayPredictor_ ? 1.0 / array_.assoc() : 1.0;
+                // The wasted probe went to the *wrong set*: way
+                // prediction cannot salvage it, so it costs a full
+                // read regardless of the predictor.
+                stats_.weightedArrayAccesses += 1.0;
                 fast = false;
                 ready = serial_ready;
             }
@@ -183,8 +201,9 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
                     ++stats_.spec.extraAccess;
                     ++stats_.extraArrayAccesses;
                     ++stats_.arrayAccesses;
-                    stats_.weightedArrayAccesses +=
-                        wayPredictor_ ? 1.0 / array_.assoc() : 1.0;
+                    // Wrong-set probe: full-cost read (see the
+                    // naive path).
+                    stats_.weightedArrayAccesses += 1.0;
                     fast = false;
                     ready = serial_ready;
                 }
@@ -217,8 +236,10 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
                 ++stats_.spec.extraAccess;
                 ++stats_.extraArrayAccesses;
                 ++stats_.arrayAccesses;
-                stats_.weightedArrayAccesses +=
-                    wayPredictor_ ? 1.0 / array_.assoc() : 1.0;
+                // The wasted probe went to the *wrong set*: way
+                // prediction cannot salvage it, so it costs a full
+                // read regardless of the predictor.
+                stats_.weightedArrayAccesses += 1.0;
                 fast = false;
                 ready = serial_ready;
             }
@@ -264,6 +285,11 @@ SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
     L1AccessResult res;
     res.fast = fast;
 
+    check::Observation obs;
+    obs.vaddr = ref.vaddr;
+    obs.paddr = paddr;
+    obs.op = ref.op;
+
     if (way >= 0) {
         ++stats_.hits;
         res.hit = true;
@@ -271,14 +297,27 @@ SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
         if (ref.op == MemOp::Store)
             array_.setDirty(set, static_cast<std::uint32_t>(way));
         res.latency = (ready - now) + way_penalty;
+        if (checker_) {
+            obs.hit = true;
+            obs.dirtyAfter =
+                array_.dirtyAt(set, static_cast<std::uint32_t>(way));
+            checker_->onAccess(obs, statsView());
+        }
         return res;
     }
 
     ++stats_.misses;
     const Cycles fill_latency = below_.fill(paddr, ready);
     // Next-line prefetch into the level below (simple sequential
-    // prefetcher, present in any contemporary baseline).
-    below_.prefetch(paddr + lineSize, ready);
+    // prefetcher, present in any contemporary baseline). The
+    // prefetcher works on physical addresses, so it must stop at
+    // the page boundary: the next physical line past the last line
+    // of a page belongs to an unrelated frame, and prefetching it
+    // would fabricate traffic no hardware prefetcher could emit
+    // without a translation of the *next* virtual page.
+    const Addr next_line = paddr + lineSize;
+    if (pageNumber(next_line) == pageNumber(paddr))
+        below_.prefetch(next_line, ready);
     const auto evicted =
         array_.insert(set, paddr, ref.op == MemOp::Store);
     if (evicted && evicted->dirty) {
@@ -286,7 +325,79 @@ SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
         below_.writeback(evicted->lineAddr, ready + fill_latency);
     }
     res.latency = (ready - now) + fill_latency;
+    if (checker_) {
+        obs.hit = false;
+        obs.dirtyAfter = ref.op == MemOp::Store;
+        if (evicted) {
+            obs.evicted = true;
+            obs.evictedLine = evicted->lineAddr;
+            obs.evictedDirty = evicted->dirty;
+            obs.writeback = evicted->dirty;
+        }
+        checker_->onAccess(obs, statsView());
+    }
     return res;
+}
+
+check::StatsView
+SiptL1Cache::statsView() const
+{
+    check::StatsView view;
+    switch (params_.policy) {
+      case IndexingPolicy::Vipt:
+      case IndexingPolicy::Ideal:
+        view.policy = check::PolicyClass::Direct;
+        break;
+      case IndexingPolicy::SiptNaive:
+        view.policy = specBits_ ? check::PolicyClass::Naive
+                                : check::PolicyClass::Direct;
+        break;
+      case IndexingPolicy::SiptBypass:
+        view.policy = specBits_ ? check::PolicyClass::Bypass
+                                : check::PolicyClass::Direct;
+        break;
+      case IndexingPolicy::SiptCombined:
+        view.policy = specBits_ ? check::PolicyClass::Combined
+                                : check::PolicyClass::Direct;
+        break;
+    }
+    view.assoc = array_.assoc();
+    view.accesses = stats_.accesses;
+    view.loads = stats_.loads;
+    view.stores = stats_.stores;
+    view.hits = stats_.hits;
+    view.misses = stats_.misses;
+    view.fastAccesses = stats_.fastAccesses;
+    view.slowAccesses = stats_.slowAccesses;
+    view.extraArrayAccesses = stats_.extraArrayAccesses;
+    view.arrayAccesses = stats_.arrayAccesses;
+    view.weightedArrayAccesses = stats_.weightedArrayAccesses;
+    view.correctSpeculation = stats_.spec.correctSpeculation;
+    view.correctBypass = stats_.spec.correctBypass;
+    view.opportunityLoss = stats_.spec.opportunityLoss;
+    view.extraAccess = stats_.spec.extraAccess;
+    view.idbHit = stats_.spec.idbHit;
+    view.wayPredCorrect =
+        wayPredictor_ ? wayPredictor_->correct() : 0;
+    return view;
+}
+
+std::uint64_t
+SiptL1Cache::checkDigest() const
+{
+    return checker_ ? checker_->digest() : 0;
+}
+
+std::uint64_t
+SiptL1Cache::checkEventCount() const
+{
+    return checker_ ? checker_->eventCount() : 0;
+}
+
+std::string
+SiptL1Cache::checkFailure() const
+{
+    return checker_ ? checker_->failure() : std::string{};
 }
 
 double
@@ -312,6 +423,11 @@ SiptL1Cache::resetStats()
     stats_ = L1Stats{};
     if (wayPredictor_)
         wayPredictor_->resetStats();
+    // The golden model keeps its cache contents (they mirror the
+    // array, which survives the reset) but restarts the event
+    // stream so measured-phase digests compare across policies.
+    if (checker_)
+        checker_->resetStream();
 }
 
 double

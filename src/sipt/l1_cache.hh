@@ -39,6 +39,8 @@
 #include "cache/cache_array.hh"
 #include "cache/hierarchy.hh"
 #include "cache/way_predictor.hh"
+#include "check/golden_model.hh"
+#include "check/options.hh"
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "predictor/combined.hh"
@@ -80,6 +82,9 @@ struct L1Params
     predictor::PerceptronParams perceptron{};
     /** Stage-2 predictor configuration (Combined). */
     predictor::IdbParams idb{};
+    /** Differential golden-model checking (SIPT_CHECK=1, or set
+     *  programmatically by tests/fuzzers). */
+    check::Options check = check::Options::fromEnv();
 };
 
 /**
@@ -173,6 +178,27 @@ class SiptL1Cache
     /** Number of speculative index bits this geometry needs. */
     unsigned specBits() const { return specBits_; }
 
+    /** Lockstep differential checker, or nullptr when checking is
+     *  disabled. */
+    const check::DifferentialChecker *
+    checker() const
+    {
+        return checker_.get();
+    }
+
+    /** Stable digest of the functional event stream since the last
+     *  resetStats(); 0 when checking is disabled. Two runs of the
+     *  same workload under different indexing policies must agree
+     *  on this value. */
+    std::uint64_t checkDigest() const;
+
+    /** Events folded into checkDigest(); 0 when disabled. */
+    std::uint64_t checkEventCount() const;
+
+    /** First divergence or invariant failure recorded by the
+     *  checker (sticky); empty when clean or disabled. */
+    std::string checkFailure() const;
+
     /** Dynamic energy consumed by the L1 arrays so far (nJ),
      *  including predictor overhead (<2% per the paper). */
     double dynamicEnergyNj() const;
@@ -201,6 +227,9 @@ class SiptL1Cache
      *  latency penalty. */
     Cycles chargeArrayAccess(std::uint32_t set, int resident_way);
 
+    /** Snapshot the counters for the invariant checkers. */
+    check::StatsView statsView() const;
+
     /** Handle hit/miss once the correct physical set is known. */
     L1AccessResult finishAccess(const MemRef &ref, Addr paddr,
                                 Cycles now, Cycles ready,
@@ -215,6 +244,8 @@ class SiptL1Cache
     std::unique_ptr<predictor::PerceptronBypassPredictor> bypass_;
     /** Two-stage predictor for the Combined policy. */
     std::unique_ptr<predictor::CombinedIndexPredictor> combined_;
+    /** Golden-model checker when params.check.enabled. */
+    std::unique_ptr<check::DifferentialChecker> checker_;
     L1Stats stats_;
     /** Process tracer when SIPT_TRACE is set, else nullptr; cached
      *  at construction so the per-access cost when disabled is one

@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Tests for the differential golden-model harness: the invariant
+ * closures, the untimed GoldenL1 reference, the lockstep
+ * DifferentialChecker embedded in SiptL1Cache, mutation self-tests
+ * (a corrupted oracle must be detected, proving a corrupted cache
+ * would be), and the below-L1 FillTracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/timing_cache.hh"
+#include "check/golden_model.hh"
+#include "check/invariants.hh"
+#include "check/options.hh"
+#include "common/types.hh"
+#include "dram/dram.hh"
+#include "sipt/l1_cache.hh"
+
+namespace sipt
+{
+namespace
+{
+
+using check::Mutation;
+using check::Observation;
+using check::PolicyClass;
+using check::StatsView;
+
+// ---------------------------------------------------------------
+// Invariant closures on hand-built counter snapshots.
+// ---------------------------------------------------------------
+
+/** A consistent Direct-policy snapshot the closures accept. */
+StatsView
+cleanDirectView()
+{
+    StatsView v;
+    v.policy = PolicyClass::Direct;
+    v.assoc = 2;
+    v.accesses = 10;
+    v.loads = 6;
+    v.stores = 4;
+    v.hits = 7;
+    v.misses = 3;
+    v.fastAccesses = 10;
+    v.slowAccesses = 0;
+    v.extraArrayAccesses = 0;
+    v.arrayAccesses = 10;
+    v.weightedArrayAccesses = 10.0;
+    return v;
+}
+
+TEST(Invariants, CleanViewPasses)
+{
+    const StatsView v = cleanDirectView();
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    EXPECT_EQ(check::checkEnergyClosure(v), "");
+}
+
+TEST(Invariants, HitsAndMissesMustPartitionAccesses)
+{
+    StatsView v = cleanDirectView();
+    v.hits = 8; // 8 + 3 != 10
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, FastAndSlowMustPartitionAccesses)
+{
+    StatsView v = cleanDirectView();
+    v.fastAccesses = 9;
+    v.slowAccesses = 0;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, ArrayAccessesMustAccountExtras)
+{
+    StatsView v = cleanDirectView();
+    v.extraArrayAccesses = 2; // accesses + extra != array
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, DirectPolicyForbidsSpecCounters)
+{
+    StatsView v = cleanDirectView();
+    v.correctSpeculation = 1;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, NaiveSpeculationPartition)
+{
+    StatsView v = cleanDirectView();
+    v.policy = PolicyClass::Naive;
+    v.correctSpeculation = 7;
+    v.extraAccess = 3;
+    v.extraArrayAccesses = 3;
+    v.arrayAccesses = 13;
+    v.weightedArrayAccesses = 13.0;
+    v.fastAccesses = 7;
+    v.slowAccesses = 3;
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    v.correctSpeculation = 6; // 6 + 3 != 10
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, BypassSpeculationPartition)
+{
+    StatsView v = cleanDirectView();
+    v.policy = PolicyClass::Bypass;
+    v.correctSpeculation = 4;
+    v.extraAccess = 2;
+    v.correctBypass = 3;
+    v.opportunityLoss = 1;
+    v.extraArrayAccesses = 2;
+    v.arrayAccesses = 12;
+    v.weightedArrayAccesses = 12.0;
+    v.fastAccesses = 4;
+    v.slowAccesses = 6;
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    v.opportunityLoss = 2;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, CombinedSpeculationPartition)
+{
+    StatsView v = cleanDirectView();
+    v.policy = PolicyClass::Combined;
+    v.correctSpeculation = 5;
+    v.idbHit = 3;
+    v.extraAccess = 2;
+    v.extraArrayAccesses = 2;
+    v.arrayAccesses = 12;
+    v.weightedArrayAccesses = 12.0;
+    v.fastAccesses = 8;
+    v.slowAccesses = 2;
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    v.idbHit = 4;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, WeightedEnergyNeverExceedsRaw)
+{
+    StatsView v = cleanDirectView();
+    v.weightedArrayAccesses = 10.5;
+    EXPECT_NE(check::checkEnergyClosure(v), "");
+}
+
+TEST(Invariants, WayPredictionDiscountIsExact)
+{
+    StatsView v = cleanDirectView();
+    v.assoc = 4;
+    v.wayPredCorrect = 4;
+    // 10 probes, 4 correctly way-predicted at 1/4 cost each.
+    v.weightedArrayAccesses = 10.0 - 4.0 * (1.0 - 0.25);
+    EXPECT_EQ(check::checkEnergyClosure(v), "");
+
+    // The historical replay bug: a wasted wrong-set probe charged
+    // at 1/assoc instead of full cost. The closure must reject the
+    // resulting under-count.
+    v.weightedArrayAccesses -= 0.75;
+    EXPECT_NE(check::checkEnergyClosure(v), "");
+}
+
+// ---------------------------------------------------------------
+// GoldenL1 reference model, driven directly with Observations.
+// Geometry: 256 B, 2-way, 64 B lines -> 2 sets; set 0 holds lines
+// 0x0, 0x80, 0x100, 0x180, ...
+// ---------------------------------------------------------------
+
+check::GoldenL1
+tinyGolden(bool strict_lru = true,
+           Mutation mutation = Mutation::None)
+{
+    return check::GoldenL1(256, 2, 64, strict_lru, mutation);
+}
+
+Observation
+obs(Addr paddr, MemOp op, bool hit)
+{
+    Observation o;
+    o.vaddr = paddr;
+    o.paddr = paddr;
+    o.op = op;
+    o.hit = hit;
+    o.dirtyAfter = hit ? false : op == MemOp::Store;
+    return o;
+}
+
+TEST(GoldenL1, MissThenHit)
+{
+    auto g = tinyGolden();
+    EXPECT_EQ(g.access(obs(0x0, MemOp::Load, false)), "");
+    EXPECT_EQ(g.access(obs(0x0, MemOp::Load, true)), "");
+    EXPECT_EQ(g.residentLines(), 1u);
+    EXPECT_TRUE(g.contains(0x0));
+    EXPECT_FALSE(g.isDirty(0x0));
+}
+
+TEST(GoldenL1, SameLineOffsetsShareResidency)
+{
+    auto g = tinyGolden();
+    EXPECT_EQ(g.access(obs(0x100, MemOp::Load, false)), "");
+    // Any offset within the 64 B line hits.
+    EXPECT_EQ(g.access(obs(0x13f, MemOp::Load, true)), "");
+    EXPECT_EQ(g.residentLines(), 1u);
+}
+
+TEST(GoldenL1, DetectsFalseHit)
+{
+    auto g = tinyGolden();
+    const std::string diff = g.access(obs(0x0, MemOp::Load, true));
+    EXPECT_NE(diff, "");
+    EXPECT_NE(diff.find("hit/miss divergence"), std::string::npos);
+}
+
+TEST(GoldenL1, DetectsMissedEviction)
+{
+    auto g = tinyGolden();
+    g.access(obs(0x0, MemOp::Load, false));
+    g.access(obs(0x80, MemOp::Load, false));
+    // Set 0 is full: the third fill must report an eviction.
+    EXPECT_NE(g.access(obs(0x100, MemOp::Load, false)), "");
+}
+
+TEST(GoldenL1, StrictLruVictimIsChecked)
+{
+    auto g = tinyGolden();
+    g.access(obs(0x0, MemOp::Load, false));
+    g.access(obs(0x80, MemOp::Load, false));
+    g.access(obs(0x0, MemOp::Load, true)); // 0x0 becomes MRU
+
+    Observation wrong = obs(0x100, MemOp::Load, false);
+    wrong.evicted = true;
+    wrong.evictedLine = 0x0; // the MRU line: not the LRU victim
+    EXPECT_NE(g.access(wrong), "");
+
+    auto g2 = tinyGolden();
+    g2.access(obs(0x0, MemOp::Load, false));
+    g2.access(obs(0x80, MemOp::Load, false));
+    g2.access(obs(0x0, MemOp::Load, true));
+    Observation right = obs(0x100, MemOp::Load, false);
+    right.evicted = true;
+    right.evictedLine = 0x80;
+    EXPECT_EQ(g2.access(right), "");
+    EXPECT_FALSE(g2.contains(0x80));
+}
+
+TEST(GoldenL1, AdoptedVictimMustStillBeResident)
+{
+    auto g = tinyGolden(/*strict_lru=*/false);
+    g.access(obs(0x0, MemOp::Load, false));
+    g.access(obs(0x80, MemOp::Load, false));
+    // Non-LRU replacement: either resident line is acceptable...
+    Observation any = obs(0x100, MemOp::Load, false);
+    any.evicted = true;
+    any.evictedLine = 0x0;
+    EXPECT_EQ(g.access(any), "");
+    // ...but a line that was never resident is not.
+    Observation bogus = obs(0x180, MemOp::Load, false);
+    bogus.evicted = true;
+    bogus.evictedLine = 0x200;
+    EXPECT_NE(g.access(bogus), "");
+}
+
+TEST(GoldenL1, WritebackExactlyWhenVictimDirty)
+{
+    auto g = tinyGolden();
+    g.access(obs(0x0, MemOp::Store, false)); // dirty
+    g.access(obs(0x80, MemOp::Load, false));
+
+    Observation evict = obs(0x100, MemOp::Load, false);
+    evict.evicted = true;
+    evict.evictedLine = 0x0;
+    evict.evictedDirty = true;
+    evict.writeback = false; // dirty victim silently dropped
+    EXPECT_NE(g.access(evict), "");
+}
+
+TEST(GoldenL1, CleanVictimMustNotWriteback)
+{
+    auto g = tinyGolden();
+    g.access(obs(0x0, MemOp::Load, false));
+    g.access(obs(0x80, MemOp::Load, false));
+
+    Observation evict = obs(0x100, MemOp::Load, false);
+    evict.evicted = true;
+    evict.evictedLine = 0x0;
+    evict.writeback = true; // fabricated writeback
+    EXPECT_NE(g.access(evict), "");
+}
+
+TEST(GoldenL1, HitMustNotEvict)
+{
+    auto g = tinyGolden();
+    g.access(obs(0x0, MemOp::Load, false));
+    Observation bad = obs(0x0, MemOp::Load, true);
+    bad.writeback = true;
+    EXPECT_NE(g.access(bad), "");
+}
+
+TEST(GoldenL1, SynonymsResolveToOnePhysicalLine)
+{
+    // Two virtual pages mapping to one physical line: the model is
+    // keyed purely by PA, so the second synonym access hits and
+    // dirty state is shared.
+    auto g = tinyGolden();
+    Observation store = obs(0x100, MemOp::Store, false);
+    store.vaddr = 0x40100;
+    EXPECT_EQ(g.access(store), "");
+
+    Observation alias = obs(0x100, MemOp::Load, true);
+    alias.vaddr = 0x80100;
+    alias.dirtyAfter = true; // store dirty persists across synonym
+    EXPECT_EQ(g.access(alias), "");
+    EXPECT_TRUE(g.isDirty(0x100));
+    EXPECT_EQ(g.residentLines(), 1u);
+}
+
+TEST(GoldenL1, MutationDropTagCheckFalseHits)
+{
+    auto g = tinyGolden(true, Mutation::DropTagCheck);
+    g.access(obs(0x0, MemOp::Load, false));
+    // 0x80 maps to the same set: the mutated model "hits" on the
+    // resident 0x0 line and must disagree with the real miss.
+    const std::string diff =
+        g.access(obs(0x80, MemOp::Load, false));
+    EXPECT_NE(diff, "");
+}
+
+TEST(GoldenL1, MutationDropDirtyDiverges)
+{
+    auto g = tinyGolden(true, Mutation::DropDirty);
+    const std::string diff =
+        g.access(obs(0x0, MemOp::Store, false));
+    EXPECT_NE(diff, "");
+    EXPECT_NE(diff.find("dirty"), std::string::npos);
+}
+
+TEST(GoldenL1, MutationDropWritebackDiverges)
+{
+    auto g = tinyGolden(true, Mutation::DropWriteback);
+    g.access(obs(0x0, MemOp::Store, false));
+    g.access(obs(0x80, MemOp::Load, false));
+    Observation evict = obs(0x100, MemOp::Load, false);
+    evict.evicted = true;
+    evict.evictedLine = 0x0;
+    evict.evictedDirty = true;
+    evict.writeback = true; // correct, but the oracle disagrees
+    EXPECT_NE(g.access(evict), "");
+}
+
+// ---------------------------------------------------------------
+// DifferentialChecker in lockstep with the real SiptL1Cache.
+// ---------------------------------------------------------------
+
+/** Self-contained harness: L1 + L2-less hierarchy + DRAM. */
+struct Harness
+{
+    dram::Dram dram;
+    cache::TimingCache llc;
+    cache::BelowL1 below;
+    SiptL1Cache l1;
+
+    explicit Harness(const L1Params &params)
+        : llc(llcParams()), below(nullptr, llc, dram),
+          l1(params, below)
+    {
+    }
+
+    static cache::TimingCacheParams
+    llcParams()
+    {
+        cache::TimingCacheParams p;
+        p.geometry.sizeBytes = 1 << 20;
+        p.geometry.assoc = 16;
+        p.latency = 20;
+        return p;
+    }
+
+    L1AccessResult
+    access(Addr vaddr, Addr paddr, MemOp op = MemOp::Load,
+           Addr pc = 0x400000, Cycles now = 0)
+    {
+        MemRef ref;
+        ref.pc = pc;
+        ref.vaddr = vaddr;
+        ref.op = op;
+        vm::MmuResult xlat;
+        xlat.paddr = paddr;
+        xlat.latency = 2;
+        xlat.l1Hit = true;
+        return l1.access(ref, xlat, now);
+    }
+};
+
+L1Params
+checkedParams(IndexingPolicy policy, std::uint32_t assoc = 2,
+              std::uint64_t size = 32 * 1024,
+              Mutation mutation = Mutation::None)
+{
+    L1Params p;
+    p.geometry.sizeBytes = size;
+    p.geometry.assoc = assoc;
+    p.hitLatency = 2;
+    p.policy = policy;
+    p.accessEnergyNj = 0.10;
+    p.check.enabled = true;
+    p.check.abortOnDivergence = false;
+    p.check.recordEvents = true;
+    p.check.mutation = mutation;
+    return p;
+}
+
+/** A mixed workload with replays, stores, and evictions. */
+void
+driveMixed(Harness &h)
+{
+    for (int i = 0; i < 40; ++i) {
+        const Addr base = static_cast<Addr>(i % 7) * 0x8000;
+        // Index bits sometimes change under translation.
+        const Addr va = base + 0x40 * static_cast<Addr>(i);
+        const Addr pa = (i % 3 == 0) ? va + 0x1000 : va;
+        const MemOp op = (i % 4 == 0) ? MemOp::Store : MemOp::Load;
+        h.access(va, pa, op, 0x400000 + 8 * (i % 5));
+    }
+}
+
+TEST(Differential, CleanUnderEveryPolicy)
+{
+    const IndexingPolicy policies[] = {
+        IndexingPolicy::Ideal, IndexingPolicy::SiptNaive,
+        IndexingPolicy::SiptBypass, IndexingPolicy::SiptCombined};
+    for (const IndexingPolicy policy : policies) {
+        Harness h(checkedParams(policy));
+        driveMixed(h);
+        ASSERT_NE(h.l1.checker(), nullptr);
+        EXPECT_EQ(h.l1.checkFailure(), "")
+            << "policy " << policyName(policy);
+        EXPECT_EQ(h.l1.checkEventCount(), 40u);
+    }
+}
+
+TEST(Differential, DigestIsPolicyInvariant)
+{
+    // The paper's core claim in executable form: the functional
+    // event stream must not depend on the indexing policy.
+    Harness ref(checkedParams(IndexingPolicy::Ideal));
+    driveMixed(ref);
+    const std::uint64_t want = ref.l1.checkDigest();
+    ASSERT_NE(want, 0u);
+
+    const IndexingPolicy rest[] = {IndexingPolicy::SiptNaive,
+                                   IndexingPolicy::SiptBypass,
+                                   IndexingPolicy::SiptCombined};
+    for (const IndexingPolicy policy : rest) {
+        Harness h(checkedParams(policy));
+        driveMixed(h);
+        EXPECT_EQ(h.l1.checkDigest(), want)
+            << "policy " << policyName(policy);
+        EXPECT_EQ(h.l1.checkEventCount(),
+                  ref.l1.checkEventCount());
+    }
+}
+
+TEST(Differential, DigestReactsToTheWorkload)
+{
+    Harness a(checkedParams(IndexingPolicy::Ideal));
+    Harness b(checkedParams(IndexingPolicy::Ideal));
+    a.access(0x1000, 0x1000, MemOp::Load);
+    b.access(0x1000, 0x1000, MemOp::Store);
+    EXPECT_NE(a.l1.checkDigest(), b.l1.checkDigest());
+}
+
+TEST(Differential, RecordedEventsMatchTheStream)
+{
+    Harness h(checkedParams(IndexingPolicy::Ideal));
+    h.access(0x1000, 0x1000, MemOp::Store); // miss, inserts dirty
+    h.access(0x1000, 0x1000, MemOp::Load);  // hit, stays dirty
+    const auto &events = h.l1.checker()->events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].index, 0u);
+    EXPECT_EQ(events[0].op, MemOp::Store);
+    EXPECT_FALSE(events[0].hit);
+    EXPECT_TRUE(events[0].dirtyAfter);
+    EXPECT_EQ(events[1].index, 1u);
+    EXPECT_TRUE(events[1].hit);
+    EXPECT_TRUE(events[1].dirtyAfter);
+}
+
+TEST(Differential, ResetStreamKeepsGoldenContents)
+{
+    Harness h(checkedParams(IndexingPolicy::Ideal));
+    h.access(0x5000, 0x5000);
+    h.l1.resetStats();
+    EXPECT_EQ(h.l1.checkEventCount(), 0u);
+    // The golden model kept the line, so the post-reset hit still
+    // agrees with the DUT (which also keeps its contents).
+    const auto r = h.access(0x5000, 0x5000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(h.l1.checkFailure(), "");
+    EXPECT_EQ(h.l1.checkEventCount(), 1u);
+}
+
+TEST(Differential, MutationTagCheckIsDetected)
+{
+    Harness h(checkedParams(IndexingPolicy::SiptNaive, 2,
+                            32 * 1024, Mutation::DropTagCheck));
+    // 32 KiB 2-way: 16 KiB ways, so 0x0 and 0x4000 share a set.
+    // The real L1's tag comparison misses on the second line; the
+    // tagless oracle "hits" on the first and must be caught.
+    h.access(0x0, 0x0);
+    h.access(0x4000, 0x4000);
+    EXPECT_NE(h.l1.checkFailure(), "");
+}
+
+TEST(Differential, MutationDropDirtyIsDetected)
+{
+    Harness h(checkedParams(IndexingPolicy::Ideal, 2, 32 * 1024,
+                            Mutation::DropDirty));
+    h.access(0x1000, 0x1000, MemOp::Store);
+    EXPECT_NE(h.l1.checkFailure(), "");
+}
+
+TEST(Differential, MutationDropWritebackIsDetected)
+{
+    // 2 sets x 2 ways: three same-set lines force a dirty
+    // eviction, which the mutated oracle refuses to expect.
+    Harness h(checkedParams(IndexingPolicy::Ideal, 2, 2 * 64 * 2,
+                            Mutation::DropWriteback));
+    h.access(0, 0, MemOp::Store);
+    h.access(256, 256, MemOp::Load);
+    h.access(512, 512, MemOp::Load);
+    EXPECT_NE(h.l1.checkFailure(), "");
+}
+
+TEST(Differential, FailureIsStickyAndFirst)
+{
+    Harness h(checkedParams(IndexingPolicy::Ideal, 2, 32 * 1024,
+                            Mutation::DropDirty));
+    h.access(0x1000, 0x1000, MemOp::Store);
+    const std::string first = h.l1.checkFailure();
+    ASSERT_NE(first, "");
+    h.access(0x2000, 0x2000, MemOp::Store);
+    EXPECT_EQ(h.l1.checkFailure(), first);
+}
+
+// S4: store-dirty propagation, cross-checked against the golden
+// model's own dirty bookkeeping.
+
+TEST(Differential, StoreMissInsertsDirtyLine)
+{
+    Harness h(checkedParams(IndexingPolicy::Ideal));
+    h.access(0x3000, 0x3000, MemOp::Store);
+    EXPECT_EQ(h.l1.checkFailure(), "");
+    EXPECT_TRUE(h.l1.checker()->golden().isDirty(0x3000));
+}
+
+TEST(Differential, StoreHitDirtiesResidentWay)
+{
+    Harness h(checkedParams(IndexingPolicy::Ideal));
+    h.access(0x3000, 0x3000, MemOp::Load);
+    EXPECT_FALSE(h.l1.checker()->golden().isDirty(0x3000));
+    h.access(0x3000, 0x3000, MemOp::Store);
+    EXPECT_EQ(h.l1.checkFailure(), "");
+    EXPECT_TRUE(h.l1.checker()->golden().isDirty(0x3000));
+}
+
+TEST(Differential, DirtyEvictionWritesBackExactlyOnce)
+{
+    // 2 sets x 2 ways; lines 0/256/512 share set 0.
+    Harness h(checkedParams(IndexingPolicy::Ideal, 2, 2 * 64 * 2));
+    h.access(0, 0, MemOp::Store);
+    h.access(0, 0, MemOp::Store); // re-dirtying must not stack
+    h.access(256, 256, MemOp::Load);
+    h.access(512, 512, MemOp::Load); // evicts dirty line 0
+    EXPECT_EQ(h.l1.stats().writebacks, 1u);
+    EXPECT_EQ(h.l1.checkFailure(), "");
+    EXPECT_FALSE(h.l1.checker()->golden().contains(0));
+}
+
+// ---------------------------------------------------------------
+// FillTracker: writeback legitimacy below the L1.
+// ---------------------------------------------------------------
+
+TEST(FillTracker, WritebackOfFilledLinePasses)
+{
+    check::FillTracker t(64);
+    t.onFill(0x1040);
+    EXPECT_EQ(t.fills(), 1u);
+    EXPECT_EQ(t.onWriteback(0x1040), "");
+    EXPECT_EQ(t.failure(), "");
+}
+
+TEST(FillTracker, WritebackOfUnfilledLineFails)
+{
+    check::FillTracker t(64);
+    t.onFill(0x1040);
+    EXPECT_NE(t.onWriteback(0x2040), "");
+    EXPECT_NE(t.failure(), "");
+}
+
+TEST(FillTracker, MisalignedWritebackFails)
+{
+    check::FillTracker t(64);
+    t.onFill(0x1040);
+    // 0x1048 is inside the filled line but not its base: the L1
+    // must write back line addresses only.
+    EXPECT_NE(t.onWriteback(0x1048), "");
+}
+
+} // namespace
+} // namespace sipt

@@ -81,6 +81,18 @@ TEST(ConfigKey, EveryFieldParticipates)
     expectFieldMatters("footprintScale", [](SystemConfig &c) {
         c.footprintScale = 0.5;
     });
+    expectFieldMatters("l1SizeBytes", [](SystemConfig &c) {
+        c.l1SizeBytes = 8 * 1024;
+    });
+    expectFieldMatters("l1Assoc", [](SystemConfig &c) {
+        c.l1Assoc = 2;
+    });
+    expectFieldMatters("l1HitLatency", [](SystemConfig &c) {
+        c.l1HitLatency = 3;
+    });
+    expectFieldMatters("check", [](SystemConfig &c) {
+        c.check = !c.check;
+    });
 }
 
 TEST(ConfigKey, ConditionValuesAreDistinct)

@@ -172,12 +172,31 @@ TEST(BelowL1, ThreeLevelFillLatency)
     EXPECT_EQ(below.l2()->hits(), 1u);
 }
 
+/**
+ * Construct a BelowL1 with the SIPT_CHECK fill/writeback shim
+ * forced off for tests that drive synthetic writebacks of lines
+ * that were never filled (legitimate for exercising the plumbing
+ * in isolation, but exactly what the shim exists to reject).
+ */
+BelowL1
+uncheckedBelow(const TimingCacheParams *l2, TimingCache &llc,
+               dram::Dram &dram)
+{
+    const char *check = getenv("SIPT_CHECK");
+    const std::string saved = check ? check : "";
+    unsetenv("SIPT_CHECK");
+    BelowL1 below(l2, llc, dram);
+    if (check)
+        setenv("SIPT_CHECK", saved.c_str(), 1);
+    return below;
+}
+
 TEST(BelowL1, WritebackReachesLowerLevels)
 {
     dram::Dram d;
     TimingCache llc(smallCache(1 << 20, 25));
     const auto l2 = smallCache(256 * 1024, 12);
-    BelowL1 below(&l2, llc, d);
+    BelowL1 below = uncheckedBelow(&l2, llc, d);
     below.writeback(0x300000, 0);
     EXPECT_EQ(below.l2()->accesses(), 1u);
     // A writeback carries the full line, so the L2 allocates it
