@@ -30,15 +30,26 @@ hashCombine(std::size_t &seed, const T &value)
             (seed << 6) + (seed >> 2);
 }
 
+/** FNV-1a offset basis: the running-hash seed (and the hash of
+ *  the empty string). */
+constexpr std::uint64_t fnv1a64Init = 0xcbf29ce484222325ull;
+
+/** Mix one byte into a running fnv1a64 hash. Streaming callers
+ *  (the trace format, file hashing) fold byte-by-byte and get the
+ *  same value fnv1a64() produces over the whole string. */
+constexpr std::uint64_t
+fnv1a64Step(std::uint64_t h, std::uint8_t byte)
+{
+    return (h ^ byte) * 0x100000001b3ull;
+}
+
 /** Stable 64-bit FNV-1a over a byte string. */
 constexpr std::uint64_t
 fnv1a64(std::string_view bytes)
 {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const char c : bytes) {
-        h ^= static_cast<std::uint8_t>(c);
-        h *= 0x100000001b3ull;
-    }
+    std::uint64_t h = fnv1a64Init;
+    for (const char c : bytes)
+        h = fnv1a64Step(h, static_cast<std::uint8_t>(c));
     return h;
 }
 

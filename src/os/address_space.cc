@@ -77,6 +77,44 @@ AddressSpace::mmapAlias(Addr existing_va, std::uint64_t length,
     return base;
 }
 
+std::vector<std::pair<Addr, std::uint64_t>>
+AddressSpace::regionSpans() const
+{
+    std::vector<std::pair<Addr, std::uint64_t>> spans;
+    spans.reserve(regions_.size());
+    for (const auto &r : regions_)
+        spans.emplace_back(r.base, r.length);
+    return spans;
+}
+
+void
+AddressSpace::adoptRegion(Addr base, std::uint64_t length)
+{
+    if (length == 0)
+        fatal("adoptRegion of zero length");
+    if (pageOffset(base) != 0 || length % pageSize != 0)
+        fatal("adoptRegion: span not page-aligned");
+    regions_.push_back({base, length});
+    // Keep the guard-page invariant for any later mmap().
+    nextVa_ = std::max(nextVa_, base + length + pageSize);
+}
+
+void
+AddressSpace::installMapping(Addr vaddr, Pfn pfn, bool huge)
+{
+    if (huge) {
+        if (alignDown(vaddr, hugePageSize) != vaddr)
+            fatal("installMapping: unaligned huge va ", vaddr);
+        pageTable_.mapHugePage(vaddr, pfn);
+        ++hugeFaults_;
+    } else {
+        pageTable_.mapPage(vaddr, pfn);
+        ++smallFaults_;
+    }
+    // No allocation record: replayed frames belong to the
+    // recording run's allocator, not this address space.
+}
+
 const AddressSpace::Region *
 AddressSpace::findRegion(Addr vaddr) const
 {

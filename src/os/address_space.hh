@@ -14,6 +14,7 @@
 #define SIPT_OS_ADDRESS_SPACE_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hh"
@@ -107,6 +108,29 @@ class AddressSpace
 
     /** Translate @p vaddr, faulting the page in first if needed. */
     vm::Translation translateTouch(Addr vaddr);
+
+    /** The mmap'd regions as (base, length) pairs, in map order —
+     *  the layout a trace recorder snapshots. */
+    std::vector<std::pair<Addr, std::uint64_t>>
+    regionSpans() const;
+
+    /**
+     * Register an externally reserved region (trace replay):
+     * the span becomes part of the address space without going
+     * through mmap()'s placement, so replayed VAs land in exactly
+     * the recorded layout. Advances the mmap() cursor past it.
+     */
+    void adoptRegion(Addr base, std::uint64_t length);
+
+    /**
+     * Install a recorded VA->PA mapping directly, bypassing
+     * demand paging. For @p huge mappings @p vaddr must be 2 MiB
+     * aligned and @p pfn is the first 4 KiB frame of the block.
+     * The frames are *not* owned by this address space (they were
+     * chosen by the recording run's allocator), so they are never
+     * returned to the buddy allocator on destruction.
+     */
+    void installMapping(Addr vaddr, Pfn pfn, bool huge);
 
     /** The page table populated by this address space. */
     const vm::PageTable &pageTable() const { return pageTable_; }

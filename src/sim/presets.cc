@@ -1,5 +1,7 @@
 #include "sim/presets.hh"
 
+#include <cctype>
+
 #include "common/logging.hh"
 #include "energy/cacti_model.hh"
 
@@ -24,6 +26,28 @@ l1ConfigName(L1Config config)
         return "128KiB 4-way";
     }
     return "?";
+}
+
+std::optional<L1Config>
+l1ConfigFromName(std::string_view name)
+{
+    std::string lower(name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "baseline32k8")
+        return L1Config::Baseline32K8;
+    if (lower == "small16k4")
+        return L1Config::Small16K4;
+    if (lower == "sipt32k2")
+        return L1Config::Sipt32K2;
+    if (lower == "sipt32k4")
+        return L1Config::Sipt32K4;
+    if (lower == "sipt64k4")
+        return L1Config::Sipt64K4;
+    if (lower == "sipt128k4")
+        return L1Config::Sipt128K4;
+    return std::nullopt;
 }
 
 const std::vector<L1Config> &

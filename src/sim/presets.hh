@@ -10,7 +10,9 @@
 #define SIPT_SIM_PRESETS_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/timing_cache.hh"
@@ -34,6 +36,13 @@ enum class L1Config : std::uint8_t
 
 /** Printable name, e.g. "32KiB 2-way". */
 const char *l1ConfigName(L1Config config);
+
+/**
+ * Parse a CLI-friendly design-point token: "baseline32k8",
+ * "small16k4", "sipt32k2", "sipt32k4", "sipt64k4", "sipt128k4"
+ * (case-insensitive). nullopt for anything else.
+ */
+std::optional<L1Config> l1ConfigFromName(std::string_view name);
 
 /** The four SIPT geometries of Tab. II, in paper order. */
 const std::vector<L1Config> &siptConfigs();

@@ -16,6 +16,7 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "workload/trace_format.hh"
 
 namespace sipt::sim
 {
@@ -52,8 +53,23 @@ traceWorkerLane()
 }
 
 /** Bump when the serialised key/result layout changes; stale
- *  cache files then simply miss instead of mis-parsing. */
-constexpr std::uint64_t cacheFormatVersion = 2;
+ *  cache files then simply miss instead of mis-parsing.
+ *  v3: trace-app content hashes joined the key. */
+constexpr std::uint64_t cacheFormatVersion = 3;
+
+/**
+ * Content hash of the trace file behind a "trace:<path>" app,
+ * 0 for synthetic apps. Recomputed at every enqueue so an edited
+ * trace keys differently — the cache can never serve a result for
+ * bytes that are no longer on disk (content, not mtime).
+ */
+std::uint64_t
+traceHashFor(const std::string &app)
+{
+    return isTraceApp(app)
+               ? workload::traceContentHash(traceAppPath(app))
+               : 0;
+}
 
 unsigned
 threadsFromEnv()
@@ -246,18 +262,21 @@ multiResultFromJson(const Json &j)
 }
 
 Json
-singleKeyJson(const std::string &app, const SystemConfig &config)
+singleKeyJson(const std::string &app, const SystemConfig &config,
+              std::uint64_t trace_hash)
 {
     Json j = Json::object();
     j.set("kind", "single");
     j.set("app", app);
+    j.set("traceHash", trace_hash);
     j.set("config", configToJson(config));
     return j;
 }
 
 Json
 multiKeyJson(const std::vector<std::string> &mix,
-             const SystemConfig &config)
+             const SystemConfig &config,
+             const std::vector<std::uint64_t> &trace_hashes)
 {
     Json j = Json::object();
     j.set("kind", "multi");
@@ -265,6 +284,10 @@ multiKeyJson(const std::vector<std::string> &mix,
     for (const auto &app : mix)
         apps.push(app);
     j.set("mix", std::move(apps));
+    Json hashes = Json::array();
+    for (const auto h : trace_hashes)
+        hashes.push(h);
+    j.set("traceHashes", std::move(hashes));
     j.set("config", configToJson(config));
     return j;
 }
@@ -293,6 +316,7 @@ SweepRunner::SingleKeyHash::operator()(const SingleKey &k) const
 {
     std::size_t h = hashValue(k.config);
     hashCombine(h, k.app);
+    hashCombine(h, k.traceHash);
     return h;
 }
 
@@ -302,6 +326,8 @@ SweepRunner::MultiKeyHash::operator()(const MultiKey &k) const
     std::size_t h = hashValue(k.config);
     for (const auto &app : k.mix)
         hashCombine(h, app);
+    for (const auto th : k.traceHashes)
+        hashCombine(h, th);
     return h;
 }
 
@@ -509,7 +535,8 @@ SweepRunner::enqueue(const std::string &app,
                      const SystemConfig &config)
 {
     noteSubmitted();
-    const SingleKey key{app, config};
+    const std::uint64_t trace_hash = traceHashFor(app);
+    const SingleKey key{app, config, trace_hash};
     auto promise = std::make_shared<std::promise<RunResult>>();
     std::shared_future<RunResult> future;
     {
@@ -530,7 +557,7 @@ SweepRunner::enqueue(const std::string &app,
     }
 
     const std::string key_json =
-        singleKeyJson(app, config).dump();
+        singleKeyJson(app, config, trace_hash).dump();
     Json cached;
     if (loadFromDisk(key_json, false, cached)) {
         {
@@ -573,7 +600,11 @@ SweepRunner::enqueueMulticore(const std::vector<std::string> &mix,
                               const SystemConfig &config)
 {
     noteSubmitted();
-    const MultiKey key{mix, config};
+    std::vector<std::uint64_t> trace_hashes;
+    trace_hashes.reserve(mix.size());
+    for (const auto &app : mix)
+        trace_hashes.push_back(traceHashFor(app));
+    const MultiKey key{mix, config, trace_hashes};
     auto promise =
         std::make_shared<std::promise<MulticoreResult>>();
     std::shared_future<MulticoreResult> future;
@@ -594,7 +625,8 @@ SweepRunner::enqueueMulticore(const std::vector<std::string> &mix,
         multi_.emplace(key, future);
     }
 
-    const std::string key_json = multiKeyJson(mix, config).dump();
+    const std::string key_json =
+        multiKeyJson(mix, config, trace_hashes).dump();
     Json cached;
     if (loadFromDisk(key_json, true, cached)) {
         {

@@ -171,6 +171,11 @@ class SweepRunner
     {
         std::string app;
         SystemConfig config;
+        /** Content hash of the trace file behind a
+         *  "trace:<path>" app (0 for synthetic apps). Editing a
+         *  trace in place must key differently even though the
+         *  path-visible config is unchanged. */
+        std::uint64_t traceHash = 0;
         bool operator==(const SingleKey &) const = default;
     };
     struct SingleKeyHash
@@ -181,6 +186,9 @@ class SweepRunner
     {
         std::vector<std::string> mix;
         SystemConfig config;
+        /** Per-mix-entry trace content hashes (0 for synthetic
+         *  apps), aligned with @c mix. */
+        std::vector<std::uint64_t> traceHashes;
         bool operator==(const MultiKey &) const = default;
     };
     struct MultiKeyHash

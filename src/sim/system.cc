@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <memory>
 
@@ -11,6 +12,8 @@
 #include "os/fragmenter.hh"
 #include "workload/profile.hh"
 #include "workload/synthetic.hh"
+#include "workload/trace_record.hh"
+#include "workload/trace_replay.hh"
 
 namespace sipt::sim
 {
@@ -106,7 +109,7 @@ class WalkThroughCaches : public vm::WalkPort
 struct CoreInstance
 {
     std::unique_ptr<os::AddressSpace> as;
-    std::unique_ptr<workload::SyntheticWorkload> workload;
+    std::unique_ptr<cpu::TraceSource> workload;
     std::unique_ptr<vm::Mmu> mmu;
     std::unique_ptr<cache::BelowL1> below;
     std::unique_ptr<SiptL1Cache> l1;
@@ -144,15 +147,27 @@ buildCore(const SystemConfig &config, const std::string &app,
           dram::Dram &dram, std::uint64_t seed)
 {
     CoreInstance inst;
-    workload::AppProfile profile = workload::appProfile(app);
-    profile.footprintBytes = static_cast<std::uint64_t>(
-        static_cast<double>(profile.footprintBytes) *
-        config.footprintScale);
-
-    inst.as = std::make_unique<os::AddressSpace>(
-        buddy, policyFor(config, profile.thpAffinity), seed + 1);
-    inst.workload = std::make_unique<workload::SyntheticWorkload>(
-        profile, *inst.as, seed + 2);
+    if (isTraceApp(app)) {
+        // Replay: the trace supplies the layout and mapping, so
+        // the paging policy and footprint scale are moot (no
+        // demand fault ever fires).
+        inst.as = std::make_unique<os::AddressSpace>(
+            buddy, policyFor(config, 0.0), seed + 1);
+        inst.workload =
+            std::make_unique<workload::TraceReplaySource>(
+                traceAppPath(app), *inst.as, /*loop=*/true);
+    } else {
+        workload::AppProfile profile = workload::appProfile(app);
+        profile.footprintBytes = static_cast<std::uint64_t>(
+            static_cast<double>(profile.footprintBytes) *
+            config.footprintScale);
+        inst.as = std::make_unique<os::AddressSpace>(
+            buddy, policyFor(config, profile.thpAffinity),
+            seed + 1);
+        inst.workload =
+            std::make_unique<workload::SyntheticWorkload>(
+                profile, *inst.as, seed + 2);
+    }
     inst.mmu = std::make_unique<vm::Mmu>(mmuPreset());
 
     const cache::TimingCacheParams l2 = l2Preset();
@@ -261,6 +276,80 @@ conditionName(MemCondition condition)
         return "No->4KiB-contig";
     }
     return "?";
+}
+
+std::optional<MemCondition>
+conditionFromName(std::string_view name)
+{
+    std::string lower(name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "normal")
+        return MemCondition::Normal;
+    if (lower == "fragmented")
+        return MemCondition::Fragmented;
+    if (lower == "thp-off")
+        return MemCondition::ThpOff;
+    if (lower == "no-contig")
+        return MemCondition::NoContiguity;
+    return std::nullopt;
+}
+
+bool
+isTraceApp(const std::string &app)
+{
+    return app.rfind("trace:", 0) == 0;
+}
+
+std::string
+traceAppPath(const std::string &app)
+{
+    SIPT_ASSERT(isTraceApp(app), "not a trace app: ", app);
+    return app.substr(6);
+}
+
+void
+recordTrace(const std::string &app, const SystemConfig &config,
+            const std::string &path)
+{
+    if (isTraceApp(app))
+        fatal("recordTrace: cannot re-record a trace app (", app,
+              ")");
+
+    // Same pre-conditioning and seed derivation as
+    // runSingleCore(): the recorded stream and layout are exactly
+    // what the live run would have seen.
+    os::BuddyAllocator buddy(config.physMemBytes / pageSize);
+    Rng sys_rng(config.seed);
+    os::SystemAger ager(buddy);
+    os::MemoryFragmenter fragmenter(buddy);
+    ager.age(agingChurnOps, agingResidentFraction, sys_rng);
+    if (config.condition == MemCondition::Fragmented)
+        fragmenter.fragmentTo(0.95, 9, sys_rng, 0.30);
+
+    const std::uint64_t seed = config.seed + 10;
+    workload::AppProfile profile = workload::appProfile(app);
+    profile.footprintBytes = static_cast<std::uint64_t>(
+        static_cast<double>(profile.footprintBytes) *
+        config.footprintScale);
+    os::AddressSpace as(buddy,
+                        policyFor(config, profile.thpAffinity),
+                        seed + 1);
+    workload::SyntheticWorkload workload(profile, as, seed + 2);
+
+    // Allocation phase done: snapshot the layout, then tee the
+    // stream a core would consume into the file.
+    workload::TraceRecorder recorder(path, app, config.seed, as);
+    cpu::TeeSource tee(workload, recorder);
+    const std::uint64_t total =
+        config.warmupRefs + config.measureRefs;
+    MemRef ref;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        if (!tee.next(ref))
+            break;
+    }
+    recorder.finish();
 }
 
 std::uint64_t

@@ -17,7 +17,9 @@
 #define SIPT_SIM_SYSTEM_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cpu/core.hh"
@@ -40,6 +42,13 @@ enum class MemCondition : std::uint8_t
 
 /** Printable condition name. */
 const char *conditionName(MemCondition condition);
+
+/**
+ * Parse a CLI condition token: "normal", "fragmented", "thp-off",
+ * "no-contig" (case-insensitive). nullopt for anything else.
+ */
+std::optional<MemCondition>
+conditionFromName(std::string_view name);
 
 /**
  * Default warmup references per run; reads the SIPT_WARMUP
@@ -144,6 +153,31 @@ std::uint64_t defaultMeasureRefs();
 /** Run one application on one system. */
 RunResult runSingleCore(const std::string &app,
                         const SystemConfig &config);
+
+/**
+ * True when @p app names a recorded trace instead of a synthetic
+ * profile: "trace:<path>". Trace apps are accepted everywhere an
+ * app name is (runSingleCore, runMulticore mixes, the sweep
+ * engine), replaying the file's recorded reference stream and
+ * VA->PA layout through the full pipeline.
+ */
+bool isTraceApp(const std::string &app);
+
+/** The file path behind a "trace:<path>" app name. */
+std::string traceAppPath(const std::string &app);
+
+/**
+ * Record @p app's reference stream to a trace file at @p path:
+ * condition memory and build the workload exactly as
+ * runSingleCore() would (same seeds, same allocation phase), then
+ * capture warmupRefs+measureRefs references plus the VA->PA
+ * layout. Replaying the file under the same SystemConfig is
+ * digest-identical to the live run. Fatal when @p app is itself a
+ * trace app or the file cannot be written.
+ */
+void recordTrace(const std::string &app,
+                 const SystemConfig &config,
+                 const std::string &path);
 
 /** Result of a quad-core multiprogrammed run. */
 struct MulticoreResult

@@ -115,5 +115,47 @@ TEST(ConfigKey, ConditionValuesAreDistinct)
     }
 }
 
+TEST(ConfigKey, TraceAppNamesParse)
+{
+    EXPECT_TRUE(isTraceApp("trace:/tmp/x.sipttrace"));
+    EXPECT_TRUE(isTraceApp("trace:relative/path"));
+    EXPECT_FALSE(isTraceApp("mcf"));
+    EXPECT_FALSE(isTraceApp(""));
+    EXPECT_FALSE(isTraceApp("not-trace:x"));
+    EXPECT_EQ(traceAppPath("trace:/tmp/x.sipttrace"),
+              "/tmp/x.sipttrace");
+}
+
+TEST(ConfigKey, L1PresetNamesRoundTrip)
+{
+    EXPECT_EQ(l1ConfigFromName("baseline32k8"),
+              L1Config::Baseline32K8);
+    EXPECT_EQ(l1ConfigFromName("small16k4"),
+              L1Config::Small16K4);
+    EXPECT_EQ(l1ConfigFromName("sipt32k2"), L1Config::Sipt32K2);
+    EXPECT_EQ(l1ConfigFromName("sipt32k4"), L1Config::Sipt32K4);
+    EXPECT_EQ(l1ConfigFromName("sipt64k4"), L1Config::Sipt64K4);
+    EXPECT_EQ(l1ConfigFromName("sipt128k4"),
+              L1Config::Sipt128K4);
+    // Case-insensitive; unknown names are nullopt, not fatal.
+    EXPECT_EQ(l1ConfigFromName("SIPT32K2"), L1Config::Sipt32K2);
+    EXPECT_EQ(l1ConfigFromName("vivt"), std::nullopt);
+    EXPECT_EQ(l1ConfigFromName(""), std::nullopt);
+}
+
+TEST(ConfigKey, ConditionNamesRoundTrip)
+{
+    EXPECT_EQ(conditionFromName("normal"), MemCondition::Normal);
+    EXPECT_EQ(conditionFromName("fragmented"),
+              MemCondition::Fragmented);
+    EXPECT_EQ(conditionFromName("thp-off"),
+              MemCondition::ThpOff);
+    EXPECT_EQ(conditionFromName("no-contig"),
+              MemCondition::NoContiguity);
+    EXPECT_EQ(conditionFromName("Fragmented"),
+              MemCondition::Fragmented);
+    EXPECT_EQ(conditionFromName("swapped"), std::nullopt);
+}
+
 } // namespace
 } // namespace sipt::sim

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bitops.hh"
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
 #include "workload/instruction_stream.hh"
@@ -132,6 +133,47 @@ TEST_F(StreamFixture, DeterministicForSeed)
     for (int i = 0; i < 2000; ++i) {
         stream->next(ref);
         EXPECT_EQ(ref.vaddr, a[static_cast<size_t>(i)]);
+    }
+}
+
+TEST_F(StreamFixture, FetchNeverStraddlesAPage)
+{
+    // A 16-byte fetch chunk must live entirely inside one page:
+    // the I-side lookup translates once per chunk, so a
+    // straddling chunk would touch a second page the MMU never
+    // saw. Alignment plus pageSize % fetchBytes == 0 guarantees
+    // it; this pins the invariant independently of alignment.
+    static_assert(pageSize % InstructionStream::fetchBytes == 0);
+    build(largeCodeProfile());
+    MemRef ref;
+    for (int i = 0; i < 50000; ++i) {
+        stream->next(ref);
+        ASSERT_LE(pageOffset(ref.vaddr),
+                  pageSize - InstructionStream::fetchBytes);
+    }
+}
+
+TEST_F(StreamFixture, RepeatedConstructionIsBitIdentical)
+{
+    // Same seed, fully rebuilt allocator/address-space/stream
+    // stack: every field of every reference must come back
+    // identical — the property trace recording leans on.
+    build(smallCodeProfile(), 123);
+    std::vector<MemRef> first;
+    MemRef ref;
+    for (int i = 0; i < 5000; ++i) {
+        stream->next(ref);
+        first.push_back(ref);
+    }
+    build(smallCodeProfile(), 123);
+    for (int i = 0; i < 5000; ++i) {
+        stream->next(ref);
+        ASSERT_EQ(ref.pc, first[static_cast<size_t>(i)].pc);
+        ASSERT_EQ(ref.vaddr,
+                  first[static_cast<size_t>(i)].vaddr);
+        ASSERT_EQ(ref.nonMemBefore,
+                  first[static_cast<size_t>(i)].nonMemBefore);
+        ASSERT_EQ(ref.op, first[static_cast<size_t>(i)].op);
     }
 }
 

@@ -194,6 +194,76 @@ TEST(Sweep, DiskCacheRoundTripsMulticore)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Sweep, TraceRunsReplayThroughTheCache)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "sipt_test_sweep_trace.sipttrace";
+    const auto cfg = quick(IndexingPolicy::SiptCombined);
+    recordTrace("mcf", cfg, path.string());
+    const std::string app = "trace:" + path.string();
+
+    SweepRunner runner(SweepOptions{1, "-"});
+    auto first = runner.enqueue(app, cfg);
+    auto again = runner.enqueue(app, cfg);
+    expectSameResult(first.get(), again.get());
+    expectSameResult(first.get(), runSingleCore(app, cfg));
+
+    const auto s = runner.stats();
+    EXPECT_EQ(s.executed, 1u);
+    EXPECT_EQ(s.memoHits, 1u);
+    std::filesystem::remove(path);
+}
+
+TEST(Sweep, EditedTraceInvalidatesMemoAndDiskCache)
+{
+    // Re-recording a trace at the same path with a different
+    // seed changes nothing the config key can see — only the
+    // file's bytes. The cache must key on content, not path.
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "sipt_test_trace_cache";
+    std::filesystem::remove_all(dir);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "sipt_test_sweep_edited.sipttrace";
+
+    const auto cfg = quick(IndexingPolicy::SiptCombined);
+    auto recording = cfg;
+    recordTrace("mcf", recording, path.string());
+    const std::string app = "trace:" + path.string();
+
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        (void)runner.enqueue(app, cfg).get();
+        EXPECT_EQ(runner.stats().executed, 1u);
+
+        // In-place edit under a live runner: the memo entry for
+        // the old content must not serve the new file.
+        recording.seed = cfg.seed + 1;
+        recordTrace("mcf", recording, path.string());
+        (void)runner.enqueue(app, cfg).get();
+        EXPECT_EQ(runner.stats().executed, 2u);
+        EXPECT_EQ(runner.stats().memoHits, 0u);
+    }
+
+    {
+        // Unchanged content is a disk hit across restarts...
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        (void)runner.enqueue(app, cfg).get();
+        EXPECT_EQ(runner.stats().diskHits, 1u);
+        EXPECT_EQ(runner.stats().executed, 0u);
+    }
+    recording.seed = cfg.seed + 2;
+    recordTrace("mcf", recording, path.string());
+    {
+        // ...but another edit misses the disk cache too.
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        (void)runner.enqueue(app, cfg).get();
+        EXPECT_EQ(runner.stats().diskHits, 0u);
+        EXPECT_EQ(runner.stats().executed, 1u);
+    }
+    std::filesystem::remove_all(dir);
+    std::filesystem::remove(path);
+}
+
 TEST(Sweep, AsyncRunsGenericTasks)
 {
     SweepRunner runner(SweepOptions{4, "-"});

@@ -224,6 +224,30 @@ class HeaderGuard(LintCase):
         diags = self.lint_src("bench/bench_util.hh", "int x;\n")
         self.assert_rule(diags, "header-guard")
 
+    def test_trace_header_guard_must_include_directory(self):
+        # A guard that drops the workload/ path component is the
+        # plausible typo for the trace_* headers; it must not pass.
+        diags = self.lint_src(
+            "src/workload/trace_format.hh",
+            "#ifndef SIPT_TRACE_FORMAT_HH\n"
+            "#define SIPT_TRACE_FORMAT_HH\n"
+            "struct T {};\n#endif\n")
+        self.assert_rule(diags, "header-guard")
+
+    def test_real_trace_headers_are_clean(self):
+        """The shipped trace record/replay headers pass every
+        per-file rule (guards, determinism, addr-shift)."""
+        root = os.path.dirname(TOOLS_DIR)
+        for rel in ("src/workload/trace_format.hh",
+                    "src/workload/trace_record.hh",
+                    "src/workload/trace_replay.hh"):
+            path = os.path.join(root, rel)
+            self.assertTrue(os.path.exists(path), rel)
+            diags = []
+            LINT.check_file(path, rel, diags, strict=True)
+            self.assertEqual(
+                [(d.rule, d.line) for d in diags], [], rel)
+
 
 class SelfContained(LintCase):
     def test_broken_header_fails_compile_check(self):
