@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: measured references per second of
+ * the scalar and batched access-pipeline engines across the
+ * representative workload shapes (see EXPERIMENTS.md, "Throughput
+ * methodology").
+ *
+ * Unlike the figure benches, this bench measures the *simulator*,
+ * not the simulated machine: both engines produce bit-identical
+ * results (tests/test_batch.cpp), so the only question is how fast
+ * each drives the same simulation. Per config, each rep times a
+ * complete scalar run then a complete batch run back to back
+ * (interleaved, so host-noise phases hit both engines alike), and
+ * each engine is scored by its minimum wall-clock over --reps —
+ * on a shared host the minimum is the robust estimator of true
+ * cost; means absorb scheduler noise.
+ *
+ * Modes:
+ *   bench_throughput [--refs N] [--reps N]            print table
+ *   bench_throughput --out FILE                       + write JSON
+ *   bench_throughput --check FILE [--tolerance T]     regression
+ *
+ * --check re-measures and compares each config's batch/scalar
+ * speedup against the committed baseline (BENCH_throughput.json).
+ * The speedup ratio is used rather than absolute refs/sec because
+ * it transfers across hosts; absolute numbers in the baseline
+ * record the machine that produced them. Exits non-zero when a
+ * config's speedup falls more than T (default 0.20, i.e. 20%,
+ * SIPT_BENCH_TOLERANCE overrides) below the baseline.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/system.hh"
+
+namespace sipt::bench
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One measured workload shape. */
+struct ThroughputConfig
+{
+    std::string name;
+    std::string app;
+    sim::L1Config l1Config;
+    IndexingPolicy policy;
+    sim::MemCondition condition = sim::MemCondition::Normal;
+    bool multicore = false;
+};
+
+/** The representative shapes the trajectory is tracked over. */
+std::vector<ThroughputConfig>
+configs()
+{
+    return {
+        // The paper's VIPT baseline machine.
+        {"vipt-base", "mcf", sim::L1Config::Baseline32K8,
+         IndexingPolicy::Vipt},
+        // THE single-core synthetic config: the SIPT machine on the
+        // pointer-chasing app, the shape the simulator spends most
+        // of its life on.
+        {"sipt-combined", "mcf", sim::L1Config::Sipt32K2,
+         IndexingPolicy::SiptCombined},
+        // Translation-stressed variant: THP off makes every page
+        // small, so the flat page map and SoA TLB carry the most
+        // weight here.
+        {"sipt-thp-off", "mcf", sim::L1Config::Sipt32K2,
+         IndexingPolicy::SiptCombined, sim::MemCondition::ThpOff},
+        // Trace replay: the generator is out of the loop; the
+        // pipeline runs off a recorded reference stream.
+        {"trace-replay", "milc", sim::L1Config::Sipt32K2,
+         IndexingPolicy::SiptCombined},
+        // Four-core mix sharing an LLC.
+        {"quad-mix", "mix", sim::L1Config::Sipt32K2,
+         IndexingPolicy::SiptCombined, sim::MemCondition::Normal,
+         true},
+    };
+}
+
+const std::vector<std::string> &
+quadMix()
+{
+    static const std::vector<std::string> mix = {"mcf", "hmmer",
+                                                 "gcc", "astar"};
+    return mix;
+}
+
+/** Result of one (config, engine) measurement. */
+struct Cell
+{
+    double refsPerSec = 0.0;
+    double ipc = 0.0;
+};
+
+sim::SystemConfig
+systemConfigFor(const ThroughputConfig &tc, std::uint64_t refs)
+{
+    sim::SystemConfig config;
+    config.l1Config = tc.l1Config;
+    config.policy = tc.policy;
+    config.condition = tc.condition;
+    // The whole run is timed, so fold warmup into the measured
+    // phase: every simulated reference counts toward refs/sec.
+    config.warmupRefs = 0;
+    config.measureRefs = refs;
+    return config;
+}
+
+/** Time one full run; returns wall seconds, IPC via @p out. */
+double
+timeOnce(const ThroughputConfig &tc, const std::string &app,
+         sim::EngineSelect engine, std::uint64_t refs, Cell &out)
+{
+    sim::SystemConfig config = systemConfigFor(tc, refs);
+    config.engine = engine;
+    const auto t0 = Clock::now();
+    if (tc.multicore) {
+        const sim::MulticoreResult r =
+            sim::runMulticore(quadMix(), config);
+        out.ipc = r.sumIpc;
+    } else {
+        const sim::RunResult r = sim::runSingleCore(app, config);
+        out.ipc = r.ipc;
+    }
+    return std::chrono::duration<double>(Clock::now() - t0)
+        .count();
+}
+
+/**
+ * Measure both engines for one config, *interleaved*: each rep
+ * times scalar then batch back to back, so slow host phases (this
+ * is routinely run on shared machines) hit both engines alike
+ * instead of landing on whichever engine owned that time window.
+ * The min over reps is taken per engine.
+ */
+void
+measurePair(const ThroughputConfig &tc, const std::string &app,
+            std::uint64_t refs, int reps, Cell &scalar, Cell &batch)
+{
+    const std::uint64_t total_refs =
+        tc.multicore ? refs * quadMix().size() : refs;
+    double best_scalar = 0.0;
+    double best_batch = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const double s = timeOnce(tc, app,
+                                  sim::EngineSelect::Scalar, refs,
+                                  scalar);
+        const double b = timeOnce(tc, app,
+                                  sim::EngineSelect::Batch, refs,
+                                  batch);
+        if (s > 0.0)
+            best_scalar = best_scalar == 0.0
+                              ? s
+                              : std::min(best_scalar, s);
+        if (b > 0.0)
+            best_batch =
+                best_batch == 0.0 ? b : std::min(best_batch, b);
+    }
+    scalar.refsPerSec =
+        best_scalar > 0.0
+            ? static_cast<double>(total_refs) / best_scalar
+            : 0.0;
+    batch.refsPerSec =
+        best_batch > 0.0
+            ? static_cast<double>(total_refs) / best_batch
+            : 0.0;
+}
+
+/** Record a trace for the trace-replay config; returns the app
+ *  name ("trace:<path>") to run. */
+std::string
+recordReplayTrace(const ThroughputConfig &tc, std::uint64_t refs)
+{
+    const char *dir_env = std::getenv("SIPT_TRACE_DIR");
+    const std::filesystem::path dir =
+        dir_env != nullptr
+            ? std::filesystem::path(dir_env)
+            : std::filesystem::temp_directory_path() /
+                  "sipt-bench-throughput";
+    std::filesystem::create_directories(dir);
+    const std::string path =
+        (dir / "throughput-replay.sipttrace").string();
+    sim::SystemConfig config = systemConfigFor(tc, refs);
+    sim::recordTrace(tc.app, config, path);
+    return "trace:" + path;
+}
+
+struct Row
+{
+    std::string name;
+    std::string app;
+    std::uint64_t refs = 0;
+    Cell scalar;
+    Cell batch;
+
+    double
+    speedup() const
+    {
+        return scalar.refsPerSec > 0.0
+                   ? batch.refsPerSec / scalar.refsPerSec
+                   : 0.0;
+    }
+};
+
+Json
+toJson(const std::vector<Row> &rows, std::uint64_t refs, int reps)
+{
+    Json root = Json::object();
+    root.set("schema", "sipt-bench-throughput-v1");
+    root.set("refs", refs);
+    root.set("reps", static_cast<std::uint64_t>(reps));
+    Json list = Json::array();
+    for (const Row &row : rows) {
+        Json j = Json::object();
+        j.set("name", row.name);
+        j.set("app", row.app);
+        j.set("refs", row.refs);
+        j.set("scalarRefsPerSec", row.scalar.refsPerSec);
+        j.set("batchRefsPerSec", row.batch.refsPerSec);
+        j.set("speedup", row.speedup());
+        list.push(std::move(j));
+    }
+    root.set("configs", std::move(list));
+    return root;
+}
+
+void
+printRows(const std::vector<Row> &rows)
+{
+    std::printf("%-14s %-12s %14s %14s %8s\n", "config", "app",
+                "scalar ref/s", "batch ref/s", "speedup");
+    for (const Row &row : rows) {
+        std::printf("%-14s %-12s %13.2fM %13.2fM %7.2fx\n",
+                    row.name.c_str(), row.app.c_str(),
+                    row.scalar.refsPerSec / 1e6,
+                    row.batch.refsPerSec / 1e6, row.speedup());
+    }
+}
+
+/** @return number of configs whose speedup regressed past tol. */
+int
+checkAgainst(const std::vector<Row> &rows,
+             const std::string &baseline_path, double tolerance)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::optional<Json> baseline = Json::parse(buf.str());
+    if (!baseline) {
+        std::fprintf(stderr, "cannot parse baseline %s\n",
+                     baseline_path.c_str());
+        return 1;
+    }
+    const Json &base_configs = baseline->get("configs");
+    int failures = 0;
+    for (const Row &row : rows) {
+        std::optional<double> base_speedup;
+        for (std::size_t i = 0; i < base_configs.size(); ++i) {
+            const Json &entry = base_configs.at(i);
+            if (entry.get("name").asString() == row.name) {
+                base_speedup = entry.get("speedup").asDouble();
+                break;
+            }
+        }
+        if (!base_speedup) {
+            std::printf("CHECK %-14s no baseline entry, skipped\n",
+                        row.name.c_str());
+            continue;
+        }
+        const double floor = *base_speedup * (1.0 - tolerance);
+        const bool ok = row.speedup() >= floor;
+        std::printf(
+            "CHECK %-14s speedup %.2fx vs baseline %.2fx "
+            "(floor %.2fx): %s\n",
+            row.name.c_str(), row.speedup(), *base_speedup, floor,
+            ok ? "ok" : "REGRESSED");
+        if (!ok)
+            ++failures;
+    }
+    return failures;
+}
+
+int
+run(int argc, char **argv)
+{
+    std::uint64_t refs = 3'000'000;
+    int reps = 3;
+    std::string out_path;
+    std::string check_path;
+    double tolerance = 0.20;
+    if (const char *env = std::getenv("SIPT_BENCH_TOLERANCE"))
+        tolerance = std::strtod(env, nullptr);
+    // SIPT_REFS shrinks the run for smoke tests, exactly as it
+    // does for the figure benches.
+    if (const char *env = std::getenv("SIPT_REFS"))
+        refs = std::strtoull(env, nullptr, 10);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--refs")
+            refs = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--reps")
+            reps = std::atoi(next());
+        else if (arg == "--out")
+            out_path = next();
+        else if (arg == "--check")
+            check_path = next();
+        else if (arg == "--tolerance")
+            tolerance = std::strtod(next(), nullptr);
+        else
+            fatal("unknown argument ", arg);
+    }
+    if (reps < 1)
+        fatal("--reps must be >= 1");
+
+    std::vector<Row> rows;
+    for (const ThroughputConfig &tc : configs()) {
+        std::string app = tc.app;
+        if (tc.name == "trace-replay")
+            app = recordReplayTrace(tc, refs);
+        Row row;
+        row.name = tc.name;
+        row.app = tc.app;
+        row.refs = tc.multicore ? refs * quadMix().size() : refs;
+        measurePair(tc, app, refs, reps, row.scalar, row.batch);
+        // Throughput runs double as a cheap identity check: the
+        // engines must agree on what they simulated.
+        if (row.scalar.ipc != row.batch.ipc) {
+            fatal("engine divergence on ", tc.name, ": scalar ipc ",
+                  row.scalar.ipc, " vs batch ipc ", row.batch.ipc);
+        }
+        rows.push_back(row);
+    }
+
+    printRows(rows);
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot write ", out_path);
+        out << toJson(rows, refs, reps).dump() << "\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (!check_path.empty())
+        return checkAgainst(rows, check_path, tolerance) == 0 ? 0
+                                                              : 1;
+    return 0;
+}
+
+} // namespace
+} // namespace sipt::bench
+
+int
+main(int argc, char **argv)
+{
+    return sipt::bench::run(argc, argv);
+}

@@ -1,5 +1,7 @@
 #include "cache/cache_array.hh"
 
+#include <bit>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -35,7 +37,11 @@ CacheArray::CacheArray(const CacheGeometry &geometry,
       assoc_(geometry.assoc),
       lineShift_(floorLog2(geometry.lineBytes)),
       rngState_(seed | 1),
-      lines_(static_cast<std::size_t>(numSets_) * geometry.assoc),
+      tags_(static_cast<std::size_t>(numSets_) * geometry.assoc,
+            invalidTag),
+      lastUse_(static_cast<std::size_t>(numSets_) * geometry.assoc,
+               0),
+      validMask_(numSets_, 0), dirtyMask_(numSets_, 0),
       plruBits_(numSets_, 0), mru_(numSets_, 0)
 {
     if (geometry.sizeBytes == 0 || geometry.assoc == 0 ||
@@ -53,31 +59,6 @@ CacheArray::CacheArray(const CacheGeometry &geometry,
         fatal("CacheArray: associativity > 32 unsupported");
 }
 
-CacheArray::Line &
-CacheArray::line(std::uint32_t set, std::uint32_t way)
-{
-    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
-}
-
-const CacheArray::Line &
-CacheArray::line(std::uint32_t set, std::uint32_t way) const
-{
-    return lines_[static_cast<std::size_t>(set) * assoc_ + way];
-}
-
-int
-CacheArray::probe(std::uint32_t set, Addr paddr) const
-{
-    SIPT_ASSERT(set < numSets_, "set out of range");
-    const Addr want = blockNumber(paddr, lineShift_);
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        const Line &l = line(set, w);
-        if (l.valid && l.lineAddr == want)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
 int
 CacheArray::lookup(std::uint32_t set, Addr paddr)
 {
@@ -91,35 +72,41 @@ void
 CacheArray::setDirty(std::uint32_t set, std::uint32_t way)
 {
     SIPT_ASSERT(set < numSets_ && way < assoc_, "index range");
-    Line &l = line(set, way);
-    SIPT_ASSERT(l.valid, "setDirty on invalid line");
-    l.dirty = true;
+    SIPT_ASSERT((validMask_[set] >> way) & 1u,
+                "setDirty on invalid line");
+    dirtyMask_[set] |= std::uint32_t{1} << way;
 }
 
 bool
 CacheArray::dirtyAt(std::uint32_t set, std::uint32_t way) const
 {
     SIPT_ASSERT(set < numSets_ && way < assoc_, "index range");
-    const Line &l = line(set, way);
-    SIPT_ASSERT(l.valid, "dirtyAt on invalid line");
-    return l.dirty;
+    SIPT_ASSERT((validMask_[set] >> way) & 1u,
+                "dirtyAt on invalid line");
+    return ((dirtyMask_[set] >> way) & 1u) != 0;
 }
 
 std::optional<Eviction>
 CacheArray::insert(std::uint32_t set, Addr paddr, bool dirty)
 {
     SIPT_ASSERT(set < numSets_, "set out of range");
-    SIPT_ASSERT(probe(set, paddr) < 0, "insert of resident line");
+    SIPT_DEBUG_ASSERT(probe(set, paddr) < 0,
+                      "insert of resident line");
 
     const std::uint32_t victim = selectVictim(set);
-    Line &l = line(set, victim);
+    const std::size_t idx = slot(set, victim);
+    const std::uint32_t bit = std::uint32_t{1} << victim;
     std::optional<Eviction> evicted;
-    if (l.valid)
-        evicted = Eviction{blockBase(l.lineAddr, lineShift_),
-                           l.dirty};
-    l.valid = true;
-    l.dirty = dirty;
-    l.lineAddr = blockNumber(paddr, lineShift_);
+    if (validMask_[set] & bit) {
+        evicted = Eviction{blockBase(tags_[idx], lineShift_),
+                           (dirtyMask_[set] & bit) != 0};
+    }
+    validMask_[set] |= bit;
+    if (dirty)
+        dirtyMask_[set] |= bit;
+    else
+        dirtyMask_[set] &= ~bit;
+    tags_[idx] = blockNumber(paddr, lineShift_);
     touchLine(set, victim);
     return evicted;
 }
@@ -130,7 +117,9 @@ CacheArray::invalidate(std::uint32_t set, Addr paddr)
     const int way = probe(set, paddr);
     if (way < 0)
         return false;
-    line(set, static_cast<std::uint32_t>(way)).valid = false;
+    tags_[slot(set, static_cast<std::uint32_t>(way))] = invalidTag;
+    validMask_[set] &=
+        ~(std::uint32_t{1} << static_cast<std::uint32_t>(way));
     return true;
 }
 
@@ -145,25 +134,26 @@ std::uint64_t
 CacheArray::validLines() const
 {
     std::uint64_t n = 0;
-    for (const auto &l : lines_)
-        n += l.valid ? 1 : 0;
+    for (const std::uint32_t mask : validMask_)
+        n += std::popcount(mask);
     return n;
 }
 
 std::uint32_t
 CacheArray::selectVictim(std::uint32_t set)
 {
-    // Invalid ways first, regardless of policy.
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (!line(set, w).valid)
-            return w;
-    }
+    // Lowest invalid way first, regardless of policy.
+    const std::uint32_t invalid = ~validMask_[set] & fullMask();
+    if (invalid)
+        return static_cast<std::uint32_t>(
+            std::countr_zero(invalid));
 
     switch (geometry_.repl) {
       case ReplPolicy::Lru: {
+        const std::uint64_t *use = &lastUse_[slot(set, 0)];
         std::uint32_t victim = 0;
         for (std::uint32_t w = 1; w < assoc_; ++w) {
-            if (line(set, w).lastUse < line(set, victim).lastUse)
+            if (use[w] < use[victim])
                 victim = w;
         }
         return victim;
@@ -196,31 +186,27 @@ CacheArray::selectVictim(std::uint32_t set)
 }
 
 void
-CacheArray::touchLine(std::uint32_t set, std::uint32_t way)
+CacheArray::touchPlru(std::uint32_t set, std::uint32_t way)
 {
-    line(set, way).lastUse = ++useClock_;
-    mru_[set] = way;
-    if (geometry_.repl == ReplPolicy::TreePlru) {
-        // Flip internal nodes on the path to point away from way.
-        std::uint32_t node = 0;
-        std::uint32_t lo = 0;
-        std::uint32_t hi = assoc_;
-        std::uint32_t tree = plruBits_[set];
-        while (hi - lo > 1) {
-            const std::uint32_t mid = (lo + hi) / 2;
-            const bool went_right = way >= mid;
-            if (went_right) {
-                tree |= (1u << node);
-                node = 2 * node + 2;
-                lo = mid;
-            } else {
-                tree &= ~(1u << node);
-                node = 2 * node + 1;
-                hi = mid;
-            }
+    // Flip internal nodes on the path to point away from way.
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = assoc_;
+    std::uint32_t tree = plruBits_[set];
+    while (hi - lo > 1) {
+        const std::uint32_t mid = (lo + hi) / 2;
+        const bool went_right = way >= mid;
+        if (went_right) {
+            tree |= (1u << node);
+            node = 2 * node + 2;
+            lo = mid;
+        } else {
+            tree &= ~(1u << node);
+            node = 2 * node + 1;
+            hi = mid;
         }
-        plruBits_[set] = tree;
     }
+    plruBits_[set] = tree;
 }
 
 } // namespace sipt::cache

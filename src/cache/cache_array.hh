@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/prefetch.hh"
 #include "common/types.hh"
 
 namespace sipt::cache
@@ -77,7 +79,8 @@ class CacheArray
 
     /**
      * Probe @p set for the line containing @p paddr without
-     * updating replacement state.
+     * updating replacement state. Defined inline below: probing is
+     * the innermost operation of every simulated access.
      * @return the way on a hit, -1 on a miss
      */
     int probe(std::uint32_t set, Addr paddr) const;
@@ -88,6 +91,33 @@ class CacheArray
      * @return the way on a hit, -1 on a miss
      */
     int lookup(std::uint32_t set, Addr paddr);
+
+    /**
+     * Update replacement state for a line already located by
+     * probe(). Equivalent to the touch a lookup() hit performs,
+     * without rescanning the set — the batched engine's fused hit
+     * path probes once and touches by way.
+     */
+    void
+    touch(std::uint32_t set, std::uint32_t way)
+    {
+        touchLine(set, way);
+    }
+
+    /**
+     * Host-prefetch the tag storage of @p set. The batched engine
+     * issues this a few references ahead of the probe/insert that
+     * will scan the set; it has no effect on simulated state.
+     */
+    void
+    prefetchSet(std::uint32_t set) const
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(set) * assoc_;
+        prefetchWriteRange(&tags_[base], sizeof(Addr) * assoc_);
+        prefetchWriteRange(&lastUse_[base],
+                           sizeof(std::uint64_t) * assoc_);
+    }
 
     /** Mark the line at (@p set, @p way) dirty. */
     void setDirty(std::uint32_t set, std::uint32_t way);
@@ -118,16 +148,27 @@ class CacheArray
     std::uint64_t validLines() const;
 
   private:
-    struct Line
-    {
-        bool valid = false;
-        bool dirty = false;
-        Addr lineAddr = 0;
-        std::uint64_t lastUse = 0;
-    };
+    /**
+     * Tag slot value of an invalid way. Physical line addresses are
+     * bounded by physical memory, so no real line can collide with
+     * it — which lets probe() scan the dense tag array with a
+     * single compare per way, no validity test.
+     */
+    static constexpr Addr invalidTag = ~Addr{0};
 
-    Line &line(std::uint32_t set, std::uint32_t way);
-    const Line &line(std::uint32_t set, std::uint32_t way) const;
+    /** Bitmask with one bit per way of this array. */
+    std::uint32_t
+    fullMask() const
+    {
+        return assoc_ == 32 ? ~std::uint32_t{0}
+                            : (std::uint32_t{1} << assoc_) - 1;
+    }
+
+    std::size_t
+    slot(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * assoc_ + way;
+    }
 
     /** Choose a victim way in @p set per the replacement policy. */
     std::uint32_t selectVictim(std::uint32_t set);
@@ -135,18 +176,54 @@ class CacheArray
     /** Update replacement metadata after touching (set, way). */
     void touchLine(std::uint32_t set, std::uint32_t way);
 
+    /** Tree-PLRU part of touchLine (out of line; the common LRU
+     *  case stays branch-light in the inlined touch path). */
+    void touchPlru(std::uint32_t set, std::uint32_t way);
+
     CacheGeometry geometry_;
     std::uint32_t numSets_;
     std::uint32_t assoc_;
     unsigned lineShift_;
     std::uint64_t useClock_ = 0;
     std::uint64_t rngState_;
-    std::vector<Line> lines_;
+    /**
+     * Struct-of-arrays line state. Tags are the probe-critical
+     * stream: a 16-way set is two host cache lines of tags instead
+     * of six lines of padded line records. Valid and dirty bits
+     * live in per-set bitmasks (assoc <= 32), which also makes
+     * victim selection a count-trailing-zeros instead of a scan.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint32_t> validMask_;
+    std::vector<std::uint32_t> dirtyMask_;
     /** Tree-PLRU state: one bit vector per set (assoc-1 bits). */
     std::vector<std::uint32_t> plruBits_;
     /** MRU way per set, maintained for way prediction. */
     std::vector<std::uint32_t> mru_;
 };
+
+inline int
+CacheArray::probe(std::uint32_t set, Addr paddr) const
+{
+    SIPT_ASSERT(set < numSets_, "set out of range");
+    const Addr want = blockNumber(paddr, lineShift_);
+    const Addr *base = &tags_[slot(set, 0)];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w] == want)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+inline void
+CacheArray::touchLine(std::uint32_t set, std::uint32_t way)
+{
+    lastUse_[slot(set, way)] = ++useClock_;
+    mru_[set] = way;
+    if (geometry_.repl == ReplPolicy::TreePlru)
+        touchPlru(set, way);
+}
 
 } // namespace sipt::cache
 

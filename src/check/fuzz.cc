@@ -151,6 +151,13 @@ sampleAt(std::uint64_t master_seed, std::uint64_t index)
     c.outOfOrder = rng.chance(0.5);
     c.wayPrediction = rng.chance(0.5);
     c.radixWalker = rng.chance(0.25);
+    // Alternate access-pipeline engines across samples: every
+    // campaign then checks the batched engine's digests against
+    // scalar-engine digests through the same policy-invariance
+    // oracle (the engine is excluded from the memo key, so a
+    // cached result legitimately serves both).
+    c.engine = rng.chance(0.5) ? sim::EngineSelect::Batch
+                               : sim::EngineSelect::Scalar;
     c.condition =
         static_cast<sim::MemCondition>(rng.below(4));
 

@@ -92,6 +92,24 @@ inform(Args &&...args)
         }                                                             \
     } while (false)
 
+/**
+ * SIPT_ASSERT for invariant checks whose *evaluation* rescans a
+ * whole structure (e.g. re-probing a cache set to assert a line is
+ * absent). These double the cost of the operation they guard, so
+ * optimized builds (NDEBUG) compile them out; debug builds and the
+ * differential golden-model checker still enforce the invariants.
+ */
+#ifdef NDEBUG
+#define SIPT_DEBUG_ASSERT(cond, ...)                                  \
+    do {                                                              \
+        if (false) {                                                  \
+            (void)(cond);                                             \
+        }                                                             \
+    } while (false)
+#else
+#define SIPT_DEBUG_ASSERT(cond, ...) SIPT_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 } // namespace sipt
 
 #endif // SIPT_COMMON_LOGGING_HH

@@ -48,6 +48,8 @@ TraceCore::TraceCore(const CoreParams &params)
     }
     mshrRing_.assign(std::max<std::uint32_t>(params.mshrs, 1), 0.0);
     chainComp_.assign(numChains, 0.0);
+    slot_ = 1.0 / std::min(static_cast<double>(params.width),
+                           params.effectiveIlp);
     checkLatencies_ = check::Options::fromEnv().enabled;
     trace_ = trace::Tracer::globalIfEnabled();
     if (trace_)
@@ -79,110 +81,39 @@ CoreResult
 TraceCore::run(TraceSource &source, MemPort &port,
                std::uint64_t max_refs)
 {
-    const double slot =
-        1.0 / std::min(static_cast<double>(params_.width),
-                       params_.effectiveIlp);
-    const double start_cycles =
-        std::max(now_, retireEnvelope_);
-    const InstCount start_insts = instructions_;
-    const std::uint64_t start_refs = memRefs_;
+    const RunCursor cursor = beginRun();
 
     MemRef ref;
     for (std::uint64_t i = 0; i < max_refs; ++i) {
         if (!source.next(ref))
             break;
 
-        // Issue bandwidth for the preceding non-memory work and
-        // for the memory instruction itself.
-        now_ += static_cast<double>(ref.nonMemBefore) * slot;
-        instructions_ += ref.nonMemBefore + 1;
-        ++memRefs_;
-        now_ += slot;
-
-        // ROB-window constraint: dispatch (in program order)
-        // stalls when the op loadWindow ops earlier has not yet
-        // retired, which pushes the whole issue front forward.
-        if (params_.outOfOrder) {
-            now_ = std::max(
-                now_,
-                robRing_[memOpIndex_ % params_.loadWindow]);
-        }
-        double disp = now_;
-
-        // Address dependence on an earlier load (pointer chase):
-        // the load sits in the issue queue until its chain's
-        // producer completes, but dispatch continues.
-        if (ref.dependsOnPrev) {
-            disp = std::max(
-                disp, chainComp_[ref.chainId % numChains]);
-        }
-
+        const double disp = dispatchRef(ref);
         bool miss = false;
         const Cycles latency = port.access(
             ref, static_cast<Cycles>(disp), miss);
-        if (checkLatencies_) {
-            // Every access takes at least one cycle, and nothing in
-            // the modelled hierarchy (DRAM queueing included) can
-            // legitimately exceed ~10M cycles: a larger value means
-            // an underflowed subtraction or a runaway queue.
-            if (latency == 0 || latency > 10'000'000) {
-                panic("SIPT_CHECK: memory port returned an "
-                      "implausible latency of ", latency,
-                      " cycles for ref va 0x", std::hex,
-                      ref.vaddr, std::dec, " (miss=", miss, ")");
-            }
-        }
-        double comp = disp + static_cast<double>(latency);
-
-        // MSHR constraint: with all miss registers busy, the miss
-        // waits for the oldest outstanding one.
-        if (miss) {
-            const double free_at =
-                mshrRing_[missIndex_ % mshrRing_.size()];
-            if (free_at > disp)
-                comp += free_at - disp;
-            mshrRing_[missIndex_ % mshrRing_.size()] = comp;
-            ++missIndex_;
-        }
-
-        if (ref.op == MemOp::Load) {
-            if (ref.dependsOnPrev) {
-                chainComp_[ref.chainId % numChains] =
-                    comp + ref.chainTail;
-            }
-            if (!params_.outOfOrder) {
-                // The consumer issues useDist instructions later;
-                // if the load has not completed by then the
-                // pipeline stalls until it has.
-                const double use_at =
-                    now_ +
-                    static_cast<double>(sampleUseDistance()) *
-                        slot;
-                if (comp > use_at)
-                    now_ += comp - use_at;
-            }
-        }
-
-        // In-order retirement envelope feeds the ROB ring.
-        retireEnvelope_ = std::max(retireEnvelope_, comp);
-        if (params_.outOfOrder) {
-            robRing_[memOpIndex_ % params_.loadWindow] =
-                retireEnvelope_;
-            ++memOpIndex_;
-        }
+        completeRef(ref, disp, latency, miss);
     }
 
+    return endRun(cursor);
+}
+
+CoreResult
+TraceCore::endRun(const RunCursor &cursor)
+{
     CoreResult res;
     // The run ends when the last instruction retires, not merely
     // when it dispatches.
-    res.cycles = std::max(now_, retireEnvelope_) - start_cycles;
-    res.instructions = instructions_ - start_insts;
-    res.memRefs = memRefs_ - start_refs;
+    res.cycles =
+        std::max(now_, retireEnvelope_) - cursor.startCycles;
+    res.instructions = instructions_ - cursor.startInstructions;
+    res.memRefs = memRefs_ - cursor.startRefs;
     if (trace_) {
         trace_->simSpan("core",
                         params_.outOfOrder ? "core-run-ooo"
                                            : "core-run-inorder",
-                        traceLane_, start_cycles, res.cycles);
+                        traceLane_, cursor.startCycles,
+                        res.cycles);
     }
     return res;
 }

@@ -27,9 +27,11 @@
 #ifndef SIPT_CPU_CORE_HH
 #define SIPT_CPU_CORE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "cpu/trace_source.hh"
@@ -116,11 +118,27 @@ class MemPort
 
 /**
  * The trace-driven core model.
+ *
+ * Besides the classic pull-driven run() loop, the per-reference
+ * timing steps are exposed as dispatchRef()/completeRef() (with
+ * beginRun()/endRun() bracketing the accounting) so the batched
+ * engine can drive exactly the same arithmetic over references it
+ * fetched, translated, and predicted in bulk. run() itself is
+ * written on top of these steps, which is what makes the two
+ * engines cycle-identical by construction.
  */
 class TraceCore
 {
   public:
     explicit TraceCore(const CoreParams &params);
+
+    /** Progress snapshot taken at the start of a run() episode. */
+    struct RunCursor
+    {
+        double startCycles = 0.0;
+        InstCount startInstructions = 0;
+        std::uint64_t startRefs = 0;
+    };
 
     /**
      * Run @p max_refs references from @p source against @p port.
@@ -129,6 +147,112 @@ class TraceCore
      */
     CoreResult run(TraceSource &source, MemPort &port,
                    std::uint64_t max_refs);
+
+    /** Snapshot progress counters at the start of an episode. */
+    RunCursor
+    beginRun() const
+    {
+        return {std::max(now_, retireEnvelope_), instructions_,
+                memRefs_};
+    }
+
+    /** Close an episode opened by beginRun(): the delta result,
+     *  plus the simulated-time trace span run() would emit. */
+    CoreResult endRun(const RunCursor &cursor);
+
+    /**
+     * Dispatch one reference: charge issue bandwidth for it and
+     * its preceding non-memory instructions, apply the ROB-window
+     * and chase-chain constraints.
+     *
+     * @return the dispatch cycle to hand to the memory port
+     */
+    double
+    dispatchRef(const MemRef &ref)
+    {
+        now_ += static_cast<double>(ref.nonMemBefore) * slot_;
+        instructions_ += ref.nonMemBefore + 1;
+        ++memRefs_;
+        now_ += slot_;
+
+        // ROB-window constraint: dispatch (in program order)
+        // stalls when the op loadWindow ops earlier has not yet
+        // retired, which pushes the whole issue front forward.
+        if (params_.outOfOrder)
+            now_ = std::max(now_, robRing_[robIdx_]);
+        double disp = now_;
+
+        // Address dependence on an earlier load (pointer chase):
+        // the load sits in the issue queue until its chain's
+        // producer completes, but dispatch continues.
+        if (ref.dependsOnPrev) {
+            disp = std::max(
+                disp, chainComp_[ref.chainId % numChains]);
+        }
+        return disp;
+    }
+
+    /**
+     * Retire one reference dispatched at @p disp whose memory
+     * access reported @p latency (and @p miss): MSHR and
+     * load-to-use constraints, chase-chain update, retirement
+     * envelope and ROB ring.
+     */
+    void
+    completeRef(const MemRef &ref, double disp, Cycles latency,
+                bool miss)
+    {
+        if (checkLatencies_) {
+            // Every access takes at least one cycle, and nothing in
+            // the modelled hierarchy (DRAM queueing included) can
+            // legitimately exceed ~10M cycles: a larger value means
+            // an underflowed subtraction or a runaway queue.
+            if (latency == 0 || latency > 10'000'000) {
+                panic("SIPT_CHECK: memory port returned an "
+                      "implausible latency of ", latency,
+                      " cycles for ref va 0x", std::hex,
+                      ref.vaddr, std::dec, " (miss=", miss, ")");
+            }
+        }
+        double comp = disp + static_cast<double>(latency);
+
+        // MSHR constraint: with all miss registers busy, the miss
+        // waits for the oldest outstanding one.
+        if (miss) {
+            const double free_at = mshrRing_[mshrIdx_];
+            if (free_at > disp)
+                comp += free_at - disp;
+            mshrRing_[mshrIdx_] = comp;
+            if (++mshrIdx_ == mshrRing_.size())
+                mshrIdx_ = 0;
+        }
+
+        if (ref.op == MemOp::Load) {
+            if (ref.dependsOnPrev) {
+                chainComp_[ref.chainId % numChains] =
+                    comp + ref.chainTail;
+            }
+            if (!params_.outOfOrder) {
+                // The consumer issues useDist instructions later;
+                // if the load has not completed by then the
+                // pipeline stalls until it has.
+                const double use_at =
+                    now_ +
+                    static_cast<double>(sampleUseDistance()) *
+                        slot_;
+                if (comp > use_at)
+                    now_ += comp - use_at;
+            }
+        }
+
+        // In-order retirement envelope feeds the ROB ring.
+        retireEnvelope_ = std::max(retireEnvelope_, comp);
+        if (params_.outOfOrder) {
+            robRing_[robIdx_] = retireEnvelope_;
+            if (++robIdx_ == params_.loadWindow)
+                robIdx_ = 0;
+        }
+    }
 
     /** Cycles elapsed so far across run() calls. */
     double cyclesSoFar() const { return now_; }
@@ -145,6 +269,8 @@ class TraceCore
 
     CoreParams params_;
     Rng rng_;
+    /** Issue-slot cost of one instruction (1 / effective IPC). */
+    double slot_ = 1.0;
     double now_ = 0.0;
     InstCount instructions_ = 0;
     std::uint64_t memRefs_ = 0;
@@ -152,10 +278,13 @@ class TraceCore
     std::vector<double> chainComp_;
     /** Ring of memory-op retire times (ROB window constraint). */
     std::vector<double> robRing_;
-    std::uint64_t memOpIndex_ = 0;
+    /** Wrapping cursor into robRing_ (the slot the next dispatch
+     *  reads and the matching completion writes). */
+    std::uint32_t robIdx_ = 0;
     /** Ring of miss completion times (MSHR constraint). */
     std::vector<double> mshrRing_;
-    std::uint64_t missIndex_ = 0;
+    /** Wrapping cursor into mshrRing_. */
+    std::size_t mshrIdx_ = 0;
     /** In-order retire envelope (monotone completion front). */
     double retireEnvelope_ = 0.0;
     /** SIPT_CHECK shim: sanity-check every latency the memory

@@ -8,6 +8,9 @@
 #ifndef SIPT_CPU_TRACE_SOURCE_HH
 #define SIPT_CPU_TRACE_SOURCE_HH
 
+#include <cstddef>
+
+#include "batch/ref_batch.hh"
 #include "common/types.hh"
 
 namespace sipt::cpu
@@ -28,6 +31,29 @@ class TraceSource
      *         infinite; callers bound the run by reference count)
      */
     virtual bool next(MemRef &ref) = 0;
+
+    /**
+     * Produce up to @p max_refs references directly into the
+     * caller's batch (replacing its contents). Must yield exactly
+     * the stream next() would: the generators override this with a
+     * loop around their internal generation step so the batched
+     * engine pays one virtual call per batch, and this default
+     * adapter keeps single-ref-only sources (and wrappers like
+     * TeeSource) correct.
+     *
+     * @return batch.size; less than @p max_refs only on exhaustion
+     */
+    virtual std::size_t
+    nextBatch(batch::RefBatch &batch, std::size_t max_refs)
+    {
+        if (max_refs > batch::RefBatch::capacity)
+            max_refs = batch::RefBatch::capacity;
+        batch.clear();
+        MemRef ref;
+        while (batch.size < max_refs && next(ref))
+            batch.push(ref);
+        return batch.size;
+    }
 
     /** Restart the stream from the beginning, when supported. */
     virtual void reset() {}

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "common/bitops.hh"
 #include "common/types.hh"
 #include "predictor/idb.hh"
 #include "predictor/perceptron.hh"
@@ -73,6 +74,16 @@ class CombinedIndexPredictor
      */
     void update(Addr pc, Vpn vpn, Pfn pfn);
 
+    /**
+     * Fused predict + update for one access whose translation is
+     * already known (the batched engine translates before it
+     * predicts). Computes the perceptron output once instead of
+     * twice; state, counter, and trace-event sequence are
+     * identical to predict() followed by update(). Defined inline
+     * below (the traced variant stays out of line).
+     */
+    IndexPrediction resolve(Addr pc, Vpn vpn, Pfn pfn);
+
     std::uint32_t specBits() const { return specBits_; }
 
     const PerceptronBypassPredictor &
@@ -87,6 +98,11 @@ class CombinedIndexPredictor
     std::uint64_t storageBytes() const;
 
   private:
+    /** resolve() when a tracer is attached: same state
+     *  transitions, plus the combined-index event between the
+     *  prediction and the perceptron/IDB training. */
+    IndexPrediction resolveTraced(Addr pc, Vpn vpn, Pfn pfn);
+
     std::uint32_t specBits_;
     PerceptronBypassPredictor perceptron_;
     IndexDeltaBuffer idb_;
@@ -98,6 +114,39 @@ class CombinedIndexPredictor
     std::uint64_t traceLane_ = 0;
     std::uint64_t resolves_ = 0;
 };
+
+inline IndexPrediction
+CombinedIndexPredictor::resolve(Addr pc, Vpn vpn, Pfn pfn)
+{
+    if (trace_)
+        return resolveTraced(pc, vpn, pfn);
+
+    const int y = perceptron_.outputFor(pc);
+    perceptron_.notePrediction();
+
+    IndexPrediction pred;
+    const auto va_bits =
+        static_cast<std::uint32_t>(vpn & mask(specBits_));
+    if (y >= 0) {
+        pred.bits = va_bits;
+        pred.source = IndexSource::VaBits;
+    } else if (specBits_ == 1) {
+        // Reversed prediction: "will change" + one bit means the
+        // post-translation bit is the complement (paper, Sec. VI).
+        pred.bits = va_bits ^ 1u;
+        pred.source = IndexSource::Reversed;
+    } else {
+        pred.bits = idb_.predictBits(pc, vpn);
+        pred.source = IndexSource::Idb;
+    }
+    lastPred_ = pred;
+
+    const bool unchanged =
+        (vpn & mask(specBits_)) == (pfn & mask(specBits_));
+    perceptron_.trainWithOutput(pc, unchanged, y);
+    idb_.update(pc, vpn, pfn);
+    return pred;
+}
 
 } // namespace sipt::predictor
 

@@ -35,30 +35,12 @@ PerceptronBypassPredictor::PerceptronBypassPredictor(
     // makes "unchanged" the common case, and a zero-weight
     // perceptron outputs y = 0 which we already treat as speculate
     // (y >= 0), so no explicit bias initialisation is needed.
-    historyReg_.assign(params.history, 1);
+    historyBits_ = params.history == 64
+                       ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << params.history) - 1;
     trace_ = trace::Tracer::globalIfEnabled();
     if (trace_)
         traceLane_ = trace_->newLane();
-}
-
-std::uint32_t
-PerceptronBypassPredictor::indexOf(Addr pc) const
-{
-    // Memory instructions are word-aligned-ish; drop low bits.
-    return static_cast<std::uint32_t>(pc >> 2) &
-           (params_.entries - 1);
-}
-
-int
-PerceptronBypassPredictor::output(Addr pc) const
-{
-    const std::size_t base =
-        static_cast<std::size_t>(indexOf(pc)) *
-        (params_.history + 1);
-    int y = weights_[base]; // bias w0
-    for (std::uint32_t i = 0; i < params_.history; ++i)
-        y += weights_[base + 1 + i] * historyReg_[i];
-    return y;
 }
 
 bool
@@ -71,44 +53,22 @@ PerceptronBypassPredictor::predictSpeculate(Addr pc)
 void
 PerceptronBypassPredictor::train(Addr pc, bool unchanged)
 {
-    const int y = output(pc);
-    const int t = unchanged ? 1 : -1;
-    const bool mispredicted = (y >= 0) != unchanged;
+    trainWithOutput(pc, unchanged, output(pc));
+}
 
-    if (trace_) {
-        trace::PredictorEvent event;
-        event.predictor = "bypass-perceptron";
-        event.pc = pc;
-        event.seq = resolves_++;
-        event.decision = y >= 0 ? "speculate" : "bypass";
-        event.predicted = y >= 0 ? 1 : 0;
-        event.actual = unchanged ? 1 : 0;
-        event.correct = !mispredicted;
-        trace_->predictor(traceLane_, event);
-    }
-
-    if (mispredicted || std::abs(y) <= threshold_) {
-        const std::size_t base =
-            static_cast<std::size_t>(indexOf(pc)) *
-            (params_.history + 1);
-        auto adjust = [&](Weight &w, int delta) {
-            const int next = w + delta;
-            if (next > weightMax_)
-                w = weightMax_;
-            else if (next < weightMin_)
-                w = weightMin_;
-            else
-                w = static_cast<Weight>(next);
-        };
-        adjust(weights_[base], t);
-        for (std::uint32_t i = 0; i < params_.history; ++i)
-            adjust(weights_[base + 1 + i], t * historyReg_[i]);
-    }
-
-    // Shift the outcome into the global history (newest first).
-    for (std::uint32_t i = params_.history - 1; i > 0; --i)
-        historyReg_[i] = historyReg_[i - 1];
-    historyReg_[0] = static_cast<std::int8_t>(t);
+void
+PerceptronBypassPredictor::traceResolve(Addr pc, bool unchanged,
+                                        int y)
+{
+    trace::PredictorEvent event;
+    event.predictor = "bypass-perceptron";
+    event.pc = pc;
+    event.seq = resolves_++;
+    event.decision = y >= 0 ? "speculate" : "bypass";
+    event.predicted = y >= 0 ? 1 : 0;
+    event.actual = unchanged ? 1 : 0;
+    event.correct = (y >= 0) == unchanged;
+    trace_->predictor(traceLane_, event);
 }
 
 std::uint64_t

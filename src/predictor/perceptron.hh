@@ -17,6 +17,7 @@
 #ifndef SIPT_PREDICTOR_PERCEPTRON_HH
 #define SIPT_PREDICTOR_PERCEPTRON_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -73,6 +74,39 @@ class PerceptronBypassPredictor
      */
     void train(Addr pc, bool unchanged);
 
+    /**
+     * Fused predict + train for one access whose outcome is
+     * already known (the batched engine translates before it
+     * predicts, so @p unchanged is available up front). Computes
+     * the perceptron output once instead of twice; state, counter,
+     * and trace-event sequence are identical to
+     * predictSpeculate() followed by train().
+     *
+     * @return the prediction (true = speculate)
+     */
+    bool
+    resolve(Addr pc, bool unchanged)
+    {
+        ++predictions_;
+        const int y = outputFor(pc);
+        trainWithOutput(pc, unchanged, y);
+        return y >= 0;
+    }
+
+    /** The raw perceptron output for @p pc under the current
+     *  history (>= 0 means speculate). */
+    int outputFor(Addr pc) const { return output(pc); }
+
+    /** Count one prediction derived externally from outputFor()
+     *  (the combined predictor's fused path). */
+    void notePrediction() { ++predictions_; }
+
+    /** train() with a pre-computed output value (fused paths pass
+     *  back what outputFor() returned for this access). Defined
+     *  inline below: this is every policy's per-access training
+     *  step and the batched decide stage inlines it. */
+    void trainWithOutput(Addr pc, bool unchanged, int y);
+
     /** Storage cost in bytes (for the overhead claims). */
     std::uint64_t storageBytes() const;
 
@@ -86,14 +120,23 @@ class PerceptronBypassPredictor
     std::uint32_t indexOf(Addr pc) const;
     int output(Addr pc) const;
 
+    /** Out-of-line tracer emission for trainWithOutput (keeps the
+     *  inlined training step free of event-formatting code). */
+    void traceResolve(Addr pc, bool unchanged, int y);
+
     PerceptronParams params_;
     int threshold_;
     Weight weightMax_;
     Weight weightMin_;
     /** weights[entry * (h+1) + i]; i = 0 is the bias. */
     std::vector<Weight> weights_;
-    /** Global outcome history as +/-1 values, newest at [0]. */
-    std::vector<std::int8_t> historyReg_;
+    /**
+     * Global outcome history packed as a bitmask: bit i set means
+     * outcome i accesses ago was +1 (bits unchanged), clear means
+     * -1. Newest outcome in bit 0; shifting the register is one
+     * instruction instead of a byte-array rotate.
+     */
+    std::uint64_t historyBits_ = 0;
     std::uint64_t predictions_ = 0;
     /** Tracing hook (nullptr unless SIPT_TRACE is set): train()
      *  emits one decision event per resolved access, which covers
@@ -102,6 +145,62 @@ class PerceptronBypassPredictor
     std::uint64_t traceLane_ = 0;
     std::uint64_t resolves_ = 0;
 };
+
+inline std::uint32_t
+PerceptronBypassPredictor::indexOf(Addr pc) const
+{
+    // Memory instructions are word-aligned-ish; drop low bits.
+    return static_cast<std::uint32_t>(pc >> 2) &
+           (params_.entries - 1);
+}
+
+inline int
+PerceptronBypassPredictor::output(Addr pc) const
+{
+    const std::size_t base =
+        static_cast<std::size_t>(indexOf(pc)) *
+        (params_.history + 1);
+    int y = weights_[base]; // bias w0
+    for (std::uint32_t i = 0; i < params_.history; ++i) {
+        const int w = weights_[base + 1 + i];
+        y += ((historyBits_ >> i) & 1u) ? w : -w;
+    }
+    return y;
+}
+
+inline void
+PerceptronBypassPredictor::trainWithOutput(Addr pc, bool unchanged,
+                                           int y)
+{
+    const int t = unchanged ? 1 : -1;
+    const bool mispredicted = (y >= 0) != unchanged;
+
+    if (trace_)
+        traceResolve(pc, unchanged, y);
+
+    if (mispredicted || (y < 0 ? -y : y) <= threshold_) {
+        const std::size_t base =
+            static_cast<std::size_t>(indexOf(pc)) *
+            (params_.history + 1);
+        auto adjust = [&](Weight &w, int delta) {
+            const int next = w + delta;
+            if (next > weightMax_)
+                w = weightMax_;
+            else if (next < weightMin_)
+                w = weightMin_;
+            else
+                w = static_cast<Weight>(next);
+        };
+        adjust(weights_[base], t);
+        for (std::uint32_t i = 0; i < params_.history; ++i) {
+            adjust(weights_[base + 1 + i],
+                   ((historyBits_ >> i) & 1u) ? t : -t);
+        }
+    }
+
+    // Shift the outcome into the global history (newest first).
+    historyBits_ = (historyBits_ << 1) | (unchanged ? 1u : 0u);
+}
 
 } // namespace sipt::predictor
 

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cstdlib>
 #include <memory>
+#include <string_view>
 
+#include "batch/pipeline.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "dram/dram.hh"
@@ -117,8 +119,40 @@ struct CoreInstance
     std::unique_ptr<SystemPort> port;
     std::unique_ptr<WalkThroughCaches> walkPort;
     std::unique_ptr<vm::PageWalker> walker;
+    /** Batched engine when selected; scalar run() otherwise. */
+    std::unique_ptr<batch::BatchPipeline> pipeline;
     cpu::CoreResult measured;
+
+    /** Run refs through whichever engine this core uses. */
+    cpu::CoreResult
+    run(std::uint64_t max_refs)
+    {
+        return pipeline ? pipeline->run(max_refs)
+                        : core->run(*workload, *port, max_refs);
+    }
 };
+
+/**
+ * Resolve the engine for a config. Radix-walker configs always
+ * take the scalar path: walk latency depends on the issue cycle,
+ * which the batched translate stage does not know yet.
+ */
+bool
+useBatchEngine(const SystemConfig &config)
+{
+    if (config.radixWalker)
+        return false;
+    switch (config.engine) {
+      case EngineSelect::Scalar:
+        return false;
+      case EngineSelect::Batch:
+        return true;
+      case EngineSelect::Auto:
+        break;
+    }
+    const char *env = std::getenv("SIPT_BATCH");
+    return env == nullptr || std::string_view(env) != "0";
+}
 
 os::PagingPolicy
 policyFor(const SystemConfig &config, double thp_affinity)
@@ -202,6 +236,11 @@ buildCore(const SystemConfig &config, const std::string &app,
             vm::WalkerParams{}, *inst.walkPort);
         inst.mmu->setWalker(inst.walker.get());
     }
+    if (useBatchEngine(config)) {
+        inst.pipeline = std::make_unique<batch::BatchPipeline>(
+            *inst.workload, *inst.mmu, inst.as->pageTable(),
+            *inst.l1, *inst.core);
+    }
     return inst;
 }
 
@@ -256,6 +295,8 @@ collect(const std::string &app, const SystemConfig &config,
         r.checkFailure = inst.below->fillTracker()->failure();
     if (r.checkFailure.empty() && inst.port)
         r.checkFailure = inst.port->checkFailure();
+    if (r.checkFailure.empty() && inst.pipeline)
+        r.checkFailure = inst.pipeline->checkFailure();
     (void)config;
     return r;
 }
@@ -415,13 +456,12 @@ runSingleCore(const std::string &app, const SystemConfig &config)
     CoreInstance inst = buildCore(config, app, buddy, llc, dram,
                                   config.seed + 10);
 
-    inst.core->run(*inst.workload, *inst.port, config.warmupRefs);
+    inst.run(config.warmupRefs);
     resetCoreStats(inst);
     llc.resetStats();
     dram.resetStats();
 
-    inst.measured = inst.core->run(*inst.workload, *inst.port,
-                                   config.measureRefs);
+    inst.measured = inst.run(config.measureRefs);
 
     const double seconds = inst.measured.seconds(3.0);
     return collect(app, config, inst, llc.dynamicEnergyNj(),
@@ -467,8 +507,7 @@ runMulticore(const std::vector<std::string> &mix,
                     continue;
                 const std::uint64_t n = std::min(
                     slice, refs_per_core - done[c]);
-                const auto res = insts[c].core->run(
-                    *insts[c].workload, *insts[c].port, n);
+                const auto res = insts[c].run(n);
                 insts[c].measured.cycles += res.cycles;
                 insts[c].measured.instructions +=
                     res.instructions;

@@ -57,6 +57,28 @@ conditionFromName(std::string_view name);
  */
 std::uint64_t defaultWarmupRefs();
 
+/**
+ * Which access-pipeline engine executes a run. The batched engine
+ * (src/batch) and the scalar reference loop are bit-identical in
+ * every result — stats, energy, metrics, SIPT_CHECK digest —
+ * which is enforced by tests/test_batch.cpp and by the fuzzer
+ * flipping engines per sample. Because the choice can never
+ * influence a result, it is deliberately EXCLUDED from the
+ * run-cache key (SystemConfig::operator== / hashValue).
+ */
+enum class EngineSelect : std::uint8_t
+{
+    /** Follow the SIPT_BATCH environment variable: unset or any
+     *  value but "0" selects the batched engine. */
+    Auto,
+    /** Force the scalar reference loop. */
+    Scalar,
+    /** Force the batched engine (still falls back to scalar for
+     *  radix-walker configs, whose translation latency depends on
+     *  the issue cycle). */
+    Batch,
+};
+
 /** One experiment's system description. */
 struct SystemConfig
 {
@@ -98,17 +120,46 @@ struct SystemConfig
      * the run-cache key because it changes the result payload.
      */
     bool check = false;
+    /**
+     * Access-pipeline engine. NOT part of the run-cache key: both
+     * engines are bit-identical, so a cached result serves either
+     * (the fuzzer relies on this to flip engines without losing
+     * cross-sample memoisation).
+     */
+    EngineSelect engine = EngineSelect::Auto;
 
     /**
-     * Field-wise equality; together with hashValue() this makes a
-     * config usable as a run-cache key, so every field that
-     * influences simulation results MUST participate here (a
-     * defaulted comparison keeps that invariant automatic).
+     * Equality over every result-influencing field; together with
+     * hashValue() this makes a config usable as a run-cache key,
+     * so every field that influences simulation results MUST
+     * participate here. `engine` is the one deliberate exception
+     * (see EngineSelect) — which is why this cannot be a defaulted
+     * comparison. tests/test_config_key.cpp walks the fields and
+     * asserts both the participation and the exception.
      */
-    bool operator==(const SystemConfig &other) const = default;
+    bool
+    operator==(const SystemConfig &other) const
+    {
+        return outOfOrder == other.outOfOrder &&
+               l1Config == other.l1Config &&
+               l1SizeBytes == other.l1SizeBytes &&
+               l1Assoc == other.l1Assoc &&
+               l1HitLatency == other.l1HitLatency &&
+               policy == other.policy &&
+               wayPrediction == other.wayPrediction &&
+               radixWalker == other.radixWalker &&
+               condition == other.condition &&
+               physMemBytes == other.physMemBytes &&
+               warmupRefs == other.warmupRefs &&
+               measureRefs == other.measureRefs &&
+               seed == other.seed &&
+               footprintScale == other.footprintScale &&
+               check == other.check;
+    }
 };
 
-/** Hash over every SystemConfig field (run-cache key). */
+/** Hash over every SystemConfig field except `engine` (run-cache
+ *  key; see EngineSelect for why engine is excluded). */
 std::size_t hashValue(const SystemConfig &config);
 
 /** Metrics from one application run. */

@@ -40,7 +40,8 @@ constexpr double combinedPredictorEnergyFraction = 0.012;
 SiptL1Cache::SiptL1Cache(const L1Params &params,
                          cache::BelowL1 &below)
     : params_(params), below_(below), array_(params.geometry),
-      specBits_(params.geometry.speculativeBits())
+      specBits_(params.geometry.speculativeBits()),
+      specMask_(mask(params.geometry.speculativeBits()))
 {
     if (params.policy == IndexingPolicy::Vipt && specBits_ != 0) {
         fatal("VIPT geometry infeasible: way size ",
@@ -110,33 +111,148 @@ SiptL1Cache::specSet(Addr vaddr, std::uint32_t spec_bits) const
     return array_.setOf(spec_addr);
 }
 
-Cycles
-SiptL1Cache::chargeArrayAccess(std::uint32_t set, int resident_way)
-{
-    ++stats_.arrayAccesses;
-    if (!wayPredictor_) {
-        stats_.weightedArrayAccesses += 1.0;
-        return 0;
-    }
-    const std::uint32_t predicted = wayPredictor_->predict(set);
-    if (resident_way < 0) {
-        wayPredictor_->recordMiss();
-        stats_.weightedArrayAccesses += 1.0;
-        return 0;
-    }
-    const auto actual = static_cast<std::uint32_t>(resident_way);
-    const Cycles penalty =
-        wayPredictor_->recordHit(predicted, actual);
-    stats_.weightedArrayAccesses +=
-        predicted == actual
-            ? 1.0 / static_cast<double>(array_.assoc())
-            : 1.0;
-    return penalty;
-}
-
 L1AccessResult
 SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
                     Cycles now)
+{
+    return accessDecided(ref, xlat, now,
+                         decide(ref, xlat.paddr));
+}
+
+SpecDecision
+SiptL1Cache::decide(const MemRef &ref, Addr paddr)
+{
+    if (specBits_ == 0)
+        return SpecDecision::Direct;
+
+    const auto va_bits = static_cast<std::uint32_t>(
+        pageNumber(ref.vaddr) & specMask_);
+    const std::uint32_t pa_bits = physSpecBits(paddr);
+    const bool unchanged = va_bits == pa_bits;
+    const Vpn vpn = pageNumber(ref.vaddr);
+    const Pfn pfn = pageNumber(paddr);
+
+    switch (params_.policy) {
+      case IndexingPolicy::Ideal:
+        // Oracle index: always fast.
+        return SpecDecision::Direct;
+      case IndexingPolicy::SiptNaive:
+        return unchanged ? SpecDecision::Speculate
+                         : SpecDecision::Replay;
+      case IndexingPolicy::SiptBypass: {
+        const bool speculate = bypass_->predictSpeculate(ref.pc);
+        const SpecDecision decision =
+            speculate ? (unchanged ? SpecDecision::Speculate
+                                   : SpecDecision::Replay)
+                      : (unchanged ? SpecDecision::BypassLoss
+                                   : SpecDecision::BypassCorrect);
+        bypass_->train(ref.pc, unchanged);
+        return decision;
+      }
+      case IndexingPolicy::SiptCombined: {
+        const auto pred = combined_->predict(ref.pc, vpn);
+        const SpecDecision decision =
+            pred.bits == pa_bits
+                ? (pred.source == predictor::IndexSource::VaBits
+                       ? SpecDecision::Speculate
+                       : SpecDecision::DeltaHit)
+                : SpecDecision::Replay;
+        combined_->update(ref.pc, vpn, pfn);
+        return decision;
+      }
+      case IndexingPolicy::Vipt:
+        panic("VIPT with speculative bits");
+    }
+    return SpecDecision::Direct;
+}
+
+void
+SiptL1Cache::decideBatch(std::size_t n, const Addr *pcs,
+                         const Addr *vaddrs, const Addr *paddrs,
+                         std::uint8_t *decisions_out)
+{
+    if (specBits_ == 0 ||
+        params_.policy == IndexingPolicy::Ideal) {
+        std::fill(
+            decisions_out, decisions_out + n,
+            static_cast<std::uint8_t>(SpecDecision::Direct));
+        return;
+    }
+
+    switch (params_.policy) {
+      case IndexingPolicy::SiptNaive:
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool unchanged =
+                (pageNumber(vaddrs[i]) & specMask_) ==
+                (pageNumber(paddrs[i]) & specMask_);
+            decisions_out[i] = static_cast<std::uint8_t>(
+                unchanged ? SpecDecision::Speculate
+                          : SpecDecision::Replay);
+        }
+        break;
+      case IndexingPolicy::SiptBypass:
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool unchanged =
+                (pageNumber(vaddrs[i]) & specMask_) ==
+                (pageNumber(paddrs[i]) & specMask_);
+            const bool speculate =
+                bypass_->resolve(pcs[i], unchanged);
+            decisions_out[i] = static_cast<std::uint8_t>(
+                speculate
+                    ? (unchanged ? SpecDecision::Speculate
+                                 : SpecDecision::Replay)
+                    : (unchanged ? SpecDecision::BypassLoss
+                                 : SpecDecision::BypassCorrect));
+        }
+        break;
+      case IndexingPolicy::SiptCombined:
+        for (std::size_t i = 0; i < n; ++i) {
+            const Vpn vpn = pageNumber(vaddrs[i]);
+            const Pfn pfn = pageNumber(paddrs[i]);
+            const auto pa_bits = static_cast<std::uint32_t>(
+                pfn & specMask_);
+            const auto pred =
+                combined_->resolve(pcs[i], vpn, pfn);
+            decisions_out[i] = static_cast<std::uint8_t>(
+                pred.bits == pa_bits
+                    ? (pred.source ==
+                               predictor::IndexSource::VaBits
+                           ? SpecDecision::Speculate
+                           : SpecDecision::DeltaHit)
+                    : SpecDecision::Replay);
+        }
+        break;
+      case IndexingPolicy::Vipt:
+      case IndexingPolicy::Ideal:
+        panic("unreachable decideBatch policy");
+    }
+}
+
+L1AccessResult
+SiptL1Cache::accessDecided(const MemRef &ref,
+                           const vm::MmuResult &xlat, Cycles now,
+                           SpecDecision decision)
+{
+    return trace_
+               ? accessDecidedImpl<true>(ref, xlat, now, decision)
+               : accessDecidedImpl<false>(ref, xlat, now,
+                                          decision);
+}
+
+L1AccessResult
+SiptL1Cache::accessDecidedChecked(const MemRef &ref,
+                                  const vm::MmuResult &xlat,
+                                  Cycles now,
+                                  SpecDecision decision)
+{
+    return accessDecidedImpl<false>(ref, xlat, now, decision);
+}
+
+template <bool Traced>
+L1AccessResult
+SiptL1Cache::accessDecidedImpl(const MemRef &ref,
+                               const vm::MmuResult &xlat,
+                               Cycles now, SpecDecision decision)
 {
     ++stats_.accesses;
     if (ref.op == MemOp::Load)
@@ -156,99 +272,47 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
 
     bool fast = true;
     Cycles ready = parallel_ready;
-    auto outcome = trace::AccessOutcome::Direct;
+    // Read only by the Traced instantiation.
+    [[maybe_unused]] auto outcome = trace::AccessOutcome::Direct;
 
-    if (specBits_ > 0) {
-        const auto va_bits = static_cast<std::uint32_t>(
-            bits(ref.vaddr, pageShift + specBits_ - 1, pageShift));
-        const std::uint32_t pa_bits = physSpecBits(paddr);
-        const bool unchanged = va_bits == pa_bits;
-        const Vpn vpn = pageNumber(ref.vaddr);
-        const Pfn pfn = pageNumber(paddr);
-
-        switch (params_.policy) {
-          case IndexingPolicy::Ideal:
-            // Oracle index: always fast.
-            break;
-          case IndexingPolicy::SiptNaive:
-            if (unchanged) {
-                ++stats_.spec.correctSpeculation;
-                outcome = trace::AccessOutcome::Speculate;
-            } else {
-                outcome = trace::AccessOutcome::Replay;
-                // Wasted speculative probe, then replay with the
-                // physical index once translation completes.
-                ++stats_.spec.extraAccess;
-                ++stats_.extraArrayAccesses;
-                ++stats_.arrayAccesses;
-                // The wasted probe went to the *wrong set*: way
-                // prediction cannot salvage it, so it costs a full
-                // read regardless of the predictor.
-                stats_.weightedArrayAccesses += 1.0;
-                fast = false;
-                ready = serial_ready;
-            }
-            break;
-          case IndexingPolicy::SiptBypass: {
-            const bool speculate =
-                bypass_->predictSpeculate(ref.pc);
-            if (speculate) {
-                if (unchanged) {
-                    ++stats_.spec.correctSpeculation;
-                    outcome = trace::AccessOutcome::Speculate;
-                } else {
-                    outcome = trace::AccessOutcome::Replay;
-                    ++stats_.spec.extraAccess;
-                    ++stats_.extraArrayAccesses;
-                    ++stats_.arrayAccesses;
-                    // Wrong-set probe: full-cost read (see the
-                    // naive path).
-                    stats_.weightedArrayAccesses += 1.0;
-                    fast = false;
-                    ready = serial_ready;
-                }
-            } else {
-                // Bypass: wait for the PA; single array access.
-                fast = false;
-                ready = serial_ready;
-                outcome = trace::AccessOutcome::Bypass;
-                if (unchanged)
-                    ++stats_.spec.opportunityLoss;
-                else
-                    ++stats_.spec.correctBypass;
-            }
-            bypass_->train(ref.pc, unchanged);
-            break;
-          }
-          case IndexingPolicy::SiptCombined: {
-            const auto pred = combined_->predict(ref.pc, vpn);
-            if (pred.bits == pa_bits) {
-                if (pred.source ==
-                    predictor::IndexSource::VaBits) {
-                    ++stats_.spec.correctSpeculation;
-                    outcome = trace::AccessOutcome::Speculate;
-                } else {
-                    ++stats_.spec.idbHit;
-                    outcome = trace::AccessOutcome::DeltaHit;
-                }
-            } else {
-                outcome = trace::AccessOutcome::Replay;
-                ++stats_.spec.extraAccess;
-                ++stats_.extraArrayAccesses;
-                ++stats_.arrayAccesses;
-                // The wasted probe went to the *wrong set*: way
-                // prediction cannot salvage it, so it costs a full
-                // read regardless of the predictor.
-                stats_.weightedArrayAccesses += 1.0;
-                fast = false;
-                ready = serial_ready;
-            }
-            combined_->update(ref.pc, vpn, pfn);
-            break;
-          }
-          case IndexingPolicy::Vipt:
-            panic("VIPT with speculative bits");
-        }
+    switch (decision) {
+      case SpecDecision::Direct:
+        break;
+      case SpecDecision::Speculate:
+        ++stats_.spec.correctSpeculation;
+        outcome = trace::AccessOutcome::Speculate;
+        break;
+      case SpecDecision::DeltaHit:
+        ++stats_.spec.idbHit;
+        outcome = trace::AccessOutcome::DeltaHit;
+        break;
+      case SpecDecision::Replay:
+        outcome = trace::AccessOutcome::Replay;
+        // Wasted speculative probe, then replay with the physical
+        // index once translation completes.
+        ++stats_.spec.extraAccess;
+        ++stats_.extraArrayAccesses;
+        ++stats_.arrayAccesses;
+        // The wasted probe went to the *wrong set*: way prediction
+        // cannot salvage it, so it costs a full read regardless of
+        // the predictor.
+        stats_.weightedArrayAccesses += 1.0;
+        fast = false;
+        ready = serial_ready;
+        break;
+      case SpecDecision::BypassCorrect:
+        // Bypass: wait for the PA; single array access.
+        fast = false;
+        ready = serial_ready;
+        outcome = trace::AccessOutcome::Bypass;
+        ++stats_.spec.correctBypass;
+        break;
+      case SpecDecision::BypassLoss:
+        fast = false;
+        ready = serial_ready;
+        outcome = trace::AccessOutcome::Bypass;
+        ++stats_.spec.opportunityLoss;
+        break;
     }
 
     if (fast)
@@ -258,7 +322,7 @@ SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
 
     const L1AccessResult res =
         finishAccess(ref, paddr, now, ready, fast);
-    if (trace_) {
+    if constexpr (Traced) {
         trace::AccessEvent event;
         event.policy = policyName(params_.policy);
         event.outcome = outcome;
@@ -306,6 +370,28 @@ SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
         return res;
     }
 
+    std::optional<cache::Eviction> evicted;
+    res = missFill(ref, paddr, set, now, ready, fast, &evicted);
+    if (checker_) {
+        obs.hit = false;
+        obs.dirtyAfter = ref.op == MemOp::Store;
+        if (evicted) {
+            obs.evicted = true;
+            obs.evictedLine = evicted->lineAddr;
+            obs.evictedDirty = evicted->dirty;
+            obs.writeback = evicted->dirty;
+        }
+        checker_->onAccess(obs, statsView());
+    }
+    return res;
+}
+
+L1AccessResult
+SiptL1Cache::missFill(const MemRef &ref, Addr paddr,
+                      std::uint32_t set, Cycles now, Cycles ready,
+                      bool fast,
+                      std::optional<cache::Eviction> *evicted_out)
+{
     ++stats_.misses;
     const Cycles fill_latency = below_.fill(paddr, ready);
     // Next-line prefetch into the level below (simple sequential
@@ -324,18 +410,12 @@ SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
         ++stats_.writebacks;
         below_.writeback(evicted->lineAddr, ready + fill_latency);
     }
+    L1AccessResult res;
+    res.hit = false;
+    res.fast = fast;
     res.latency = (ready - now) + fill_latency;
-    if (checker_) {
-        obs.hit = false;
-        obs.dirtyAfter = ref.op == MemOp::Store;
-        if (evicted) {
-            obs.evicted = true;
-            obs.evictedLine = evicted->lineAddr;
-            obs.evictedDirty = evicted->dirty;
-            obs.writeback = evicted->dirty;
-        }
-        checker_->onAccess(obs, statsView());
-    }
+    if (evicted_out)
+        *evicted_out = evicted;
     return res;
 }
 

@@ -32,8 +32,10 @@
 #ifndef SIPT_SIPT_L1_CACHE_HH
 #define SIPT_SIPT_L1_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "cache/cache_array.hh"
@@ -129,6 +131,33 @@ struct L1Stats
     SpeculationStats spec;
 };
 
+/**
+ * The speculation outcome decided for one access before it probes
+ * the array. Produced by SiptL1Cache::decide()/decideBatch() from
+ * predictor state and the VA/PA index bits; consumed by
+ * accessDecided(), which applies the corresponding statistics and
+ * latency model. Keeping the decision a plain value is what lets
+ * the batched engine run the predictor stage over a whole batch
+ * while deferring every counter update to the in-order account
+ * stage (the per-access invariant checker snapshots counters at
+ * every access, so they must advance one access at a time).
+ */
+enum class SpecDecision : std::uint8_t
+{
+    /** No speculation involved (VIPT geometry or Ideal oracle). */
+    Direct,
+    /** Speculated with VA bits and they were unchanged. */
+    Speculate,
+    /** Bypass-predicted, saved by the IDB / reversal (Combined). */
+    DeltaHit,
+    /** Speculated (any source) with the wrong index: replay. */
+    Replay,
+    /** Bypassed and the bits would indeed have changed. */
+    BypassCorrect,
+    /** Bypassed although the bits were unchanged (lost fast). */
+    BypassLoss,
+};
+
 /** Per-access result returned to the core model. */
 struct L1AccessResult
 {
@@ -163,6 +192,73 @@ class SiptL1Cache
      */
     L1AccessResult access(const MemRef &ref,
                           const vm::MmuResult &xlat, Cycles now);
+
+    /**
+     * Speculation decision for one access: queries and trains the
+     * policy's predictors (their only mutation point) but touches
+     * no statistics counter. This is the per-reference reference
+     * protocol (predict, then train); the batched engine uses
+     * decideBatch() instead.
+     */
+    SpecDecision decide(const MemRef &ref, Addr paddr);
+
+    /**
+     * Speculation decisions for @p n already-translated accesses
+     * in order, written to @p decisions_out. State-transition
+     * equivalent to calling decide() per access, but the policy
+     * dispatch is hoisted out of the loop and the Bypass/Combined
+     * predictors run their fused single-output resolve path.
+     */
+    void decideBatch(std::size_t n, const Addr *pcs,
+                     const Addr *vaddrs, const Addr *paddrs,
+                     std::uint8_t *decisions_out);
+
+    /**
+     * Execute one memory reference whose speculation outcome was
+     * already decided: applies every statistics counter for the
+     * access, charges the latency model, probes/fills the array,
+     * and feeds the checker and tracer. access() is exactly
+     * decide() + accessDecided().
+     */
+    L1AccessResult accessDecided(const MemRef &ref,
+                                 const vm::MmuResult &xlat,
+                                 Cycles now, SpecDecision decision);
+
+    /**
+     * accessDecided() without any tracer test in the access path:
+     * the caller hoisted the tracer-enabled check (the batched
+     * engine performs it once per batch, not once per reference).
+     * Only valid while tracing is disabled — events that should
+     * have been emitted are lost otherwise.
+     *
+     * Defined inline below as the batched engine's fused account
+     * step: one set scan per hit (probe, then touch by way)
+     * instead of the reference path's probe-then-lookup rescan,
+     * with the same final state — the scan count is the only
+     * difference, and replacement/statistics updates happen in
+     * the same order. Checked runs take the reference path so the
+     * per-access checker sees the classic protocol.
+     */
+    L1AccessResult
+    accessDecidedUntraced(const MemRef &ref,
+                          const vm::MmuResult &xlat, Cycles now,
+                          SpecDecision decision);
+
+    /** Tracer-enabled test for callers hoisting it per batch. */
+    bool traceEnabled() const { return trace_ != nullptr; }
+
+    /**
+     * Host-prefetch the tag sets an access to @p paddr will scan:
+     * this L1's set and, in case it misses, the L2/LLC sets below.
+     * The batched engine issues this a few references ahead of the
+     * account step; simulated state is untouched.
+     */
+    void
+    prefetchAccess(Addr paddr) const
+    {
+        array_.prefetchSet(array_.setOf(paddr));
+        below_.prefetchTags(paddr);
+    }
 
     const L1Params &params() const { return params_; }
     const L1Stats &stats() const { return stats_; }
@@ -214,6 +310,35 @@ class SiptL1Cache
     void resetStats();
 
   private:
+    /** Shared body of accessDecided{,Untraced}: the tracer branch
+     *  is compiled out of the Traced=false instantiation. */
+    template <bool Traced>
+    L1AccessResult accessDecidedImpl(const MemRef &ref,
+                                     const vm::MmuResult &xlat,
+                                     Cycles now,
+                                     SpecDecision decision);
+
+    /** Out-of-line accessDecidedImpl<false> for the inline fused
+     *  path's checker fallback (avoids instantiating the template
+     *  from other translation units). */
+    L1AccessResult accessDecidedChecked(const MemRef &ref,
+                                        const vm::MmuResult &xlat,
+                                        Cycles now,
+                                        SpecDecision decision);
+
+    /**
+     * The miss half of finishAccess(): fill from below, next-line
+     * prefetch, insert, writeback accounting. Shared by the
+     * reference path and the fused batched path so the miss
+     * semantics exist exactly once. @p evicted_out (when non-null)
+     * receives the eviction for the caller's checker observation.
+     */
+    L1AccessResult missFill(const MemRef &ref, Addr paddr,
+                            std::uint32_t set, Cycles now,
+                            Cycles ready, bool fast,
+                            std::optional<cache::Eviction>
+                                *evicted_out = nullptr);
+
     /** Index bits above the page offset of a *physical* address. */
     std::uint32_t physSpecBits(Addr paddr) const;
     /** Set number from a physical address. */
@@ -239,6 +364,8 @@ class SiptL1Cache
     cache::BelowL1 &below_;
     cache::CacheArray array_;
     unsigned specBits_;
+    /** mask(specBits_), precomputed for the decide loops. */
+    std::uint64_t specMask_;
     std::unique_ptr<cache::WayPredictor> wayPredictor_;
     /** Stage-1-only predictor for the Bypass policy. */
     std::unique_ptr<predictor::PerceptronBypassPredictor> bypass_;
@@ -253,6 +380,107 @@ class SiptL1Cache
     trace::Tracer *trace_ = nullptr;
     std::uint64_t traceLane_ = 0;
 };
+
+inline Cycles
+SiptL1Cache::chargeArrayAccess(std::uint32_t set, int resident_way)
+{
+    ++stats_.arrayAccesses;
+    if (!wayPredictor_) {
+        stats_.weightedArrayAccesses += 1.0;
+        return 0;
+    }
+    const std::uint32_t predicted = wayPredictor_->predict(set);
+    if (resident_way < 0) {
+        wayPredictor_->recordMiss();
+        stats_.weightedArrayAccesses += 1.0;
+        return 0;
+    }
+    const auto actual = static_cast<std::uint32_t>(resident_way);
+    const Cycles penalty =
+        wayPredictor_->recordHit(predicted, actual);
+    stats_.weightedArrayAccesses +=
+        predicted == actual
+            ? 1.0 / static_cast<double>(array_.assoc())
+            : 1.0;
+    return penalty;
+}
+
+inline L1AccessResult
+SiptL1Cache::accessDecidedUntraced(const MemRef &ref,
+                                   const vm::MmuResult &xlat,
+                                   Cycles now, SpecDecision decision)
+{
+    if (checker_)
+        return accessDecidedChecked(ref, xlat, now, decision);
+
+    ++stats_.accesses;
+    if (ref.op == MemOp::Load)
+        ++stats_.loads;
+    else
+        ++stats_.stores;
+
+    const Addr paddr = xlat.paddr;
+    const Cycles xlat_done = xlat.latency;
+    const Cycles parallel_ready =
+        now + std::max<Cycles>(params_.hitLatency, xlat_done);
+    const Cycles serial_ready =
+        now + xlat_done + params_.hitLatency;
+
+    bool fast = true;
+    Cycles ready = parallel_ready;
+
+    switch (decision) {
+      case SpecDecision::Direct:
+        break;
+      case SpecDecision::Speculate:
+        ++stats_.spec.correctSpeculation;
+        break;
+      case SpecDecision::DeltaHit:
+        ++stats_.spec.idbHit;
+        break;
+      case SpecDecision::Replay:
+        ++stats_.spec.extraAccess;
+        ++stats_.extraArrayAccesses;
+        ++stats_.arrayAccesses;
+        stats_.weightedArrayAccesses += 1.0;
+        fast = false;
+        ready = serial_ready;
+        break;
+      case SpecDecision::BypassCorrect:
+        fast = false;
+        ready = serial_ready;
+        ++stats_.spec.correctBypass;
+        break;
+      case SpecDecision::BypassLoss:
+        fast = false;
+        ready = serial_ready;
+        ++stats_.spec.opportunityLoss;
+        break;
+    }
+
+    if (fast)
+        ++stats_.fastAccesses;
+    else
+        ++stats_.slowAccesses;
+
+    // Fused finishAccess(): one scan, then touch/dirty by way.
+    const std::uint32_t set = array_.setOf(paddr);
+    const int way = array_.probe(set, paddr);
+    const Cycles way_penalty = chargeArrayAccess(set, way);
+    if (way >= 0) {
+        ++stats_.hits;
+        const auto w = static_cast<std::uint32_t>(way);
+        array_.touch(set, w);
+        if (ref.op == MemOp::Store)
+            array_.setDirty(set, w);
+        L1AccessResult res;
+        res.hit = true;
+        res.fast = fast;
+        res.latency = (ready - now) + way_penalty;
+        return res;
+    }
+    return missFill(ref, paddr, set, now, ready, fast);
+}
 
 } // namespace sipt
 

@@ -19,37 +19,7 @@ Mmu::translate(Addr vaddr, const PageTable &page_table,
     const auto xlat = page_table.translate(vaddr);
     if (!xlat)
         panic("MMU translate of unmapped va ", vaddr);
-
-    MmuResult res;
-    res.paddr = xlat->paddr;
-    res.hugePage = xlat->hugePage;
-
-    const Vpn vpn = xlat->hugePage ? hugePageNumber(vaddr)
-                                   : pageNumber(vaddr);
-    Tlb &l1 = xlat->hugePage ? l1Huge_ : l1Small_;
-
-    if (l1.lookup(vpn, xlat->hugePage)) {
-        res.latency = params_.l1Latency;
-        res.l1Hit = true;
-        return res;
-    }
-
-    if (l2_.lookup(vpn, xlat->hugePage)) {
-        res.latency = params_.l2Latency;
-        l1.insert(vpn, xlat->hugePage);
-        return res;
-    }
-
-    ++walks_;
-    const Cycles walk_latency =
-        walker_ ? walker_->walk(vaddr,
-                                now + params_.l2Latency,
-                                xlat->hugePage)
-                : params_.walkLatency;
-    res.latency = params_.l2Latency + walk_latency;
-    l2_.insert(vpn, xlat->hugePage);
-    l1.insert(vpn, xlat->hugePage);
-    return res;
+    return translateEntry(vaddr, *xlat, now);
 }
 
 void

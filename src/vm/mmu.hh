@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/bitops.hh"
 #include "common/types.hh"
 #include "vm/page_table.hh"
 #include "vm/page_walker.hh"
@@ -70,11 +71,24 @@ class Mmu
                         Cycles now = 0);
 
     /**
+     * Translate @p vaddr whose page-table entry @p entry has
+     * already been resolved (the batched engine memoizes the pure
+     * page-table lookup and reuses the TLB/walk accounting here).
+     * translate() is exactly a page-table lookup followed by this.
+     */
+    MmuResult translateEntry(Addr vaddr, const Translation &entry,
+                             Cycles now = 0);
+
+    /**
      * Attach a radix page walker: L2 TLB misses then perform
      * dependent PTE reads through it instead of charging the
      * constant walkLatency. Pass nullptr to detach.
      */
     void setWalker(PageWalker *walker) { walker_ = walker; }
+
+    /** True when a radix walker is attached (in which case
+     *  translation latency depends on the issue cycle). */
+    bool hasWalker() const { return walker_ != nullptr; }
 
     /** Invalidate all TLB state. */
     void flushAll();
@@ -105,6 +119,44 @@ class Mmu
     PageWalker *walker_ = nullptr;
     std::uint64_t walks_ = 0;
 };
+
+// Inline: translateEntry is on the per-reference critical path of
+// both engines; the batched translate stage inlines the whole TLB
+// hit path into its loop.
+inline MmuResult
+Mmu::translateEntry(Addr vaddr, const Translation &entry,
+                    Cycles now)
+{
+    MmuResult res;
+    res.paddr = entry.paddr;
+    res.hugePage = entry.hugePage;
+
+    const Vpn vpn = entry.hugePage ? hugePageNumber(vaddr)
+                                   : pageNumber(vaddr);
+    Tlb &l1 = entry.hugePage ? l1Huge_ : l1Small_;
+
+    if (l1.lookup(vpn, entry.hugePage)) {
+        res.latency = params_.l1Latency;
+        res.l1Hit = true;
+        return res;
+    }
+
+    if (l2_.lookup(vpn, entry.hugePage)) {
+        res.latency = params_.l2Latency;
+        l1.insert(vpn, entry.hugePage);
+        return res;
+    }
+
+    ++walks_;
+    const Cycles walk_latency =
+        walker_ ? walker_->walk(vaddr, now + params_.l2Latency,
+                                entry.hugePage)
+                : params_.walkLatency;
+    res.latency = params_.l2Latency + walk_latency;
+    l2_.insert(vpn, entry.hugePage);
+    l1.insert(vpn, entry.hugePage);
+    return res;
+}
 
 } // namespace sipt::vm
 

@@ -89,6 +89,22 @@ PageTable::chunkHasSmallMappings(Addr vaddr) const
 }
 
 void
+PageTable::forEachSmall(
+    const std::function<void(Vpn, Pfn)> &visit) const
+{
+    for (const auto &[vpn, pfn] : small_)
+        visit(vpn, pfn);
+}
+
+void
+PageTable::forEachHuge(
+    const std::function<void(Vpn, Pfn)> &visit) const
+{
+    for (const auto &[chunk, base] : huge_)
+        visit(chunk, base);
+}
+
+void
 PageTable::clear()
 {
     small_.clear();

@@ -11,6 +11,7 @@
 #define SIPT_VM_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -72,6 +73,15 @@ class PageTable
 
     /** Number of 2 MiB mappings. */
     std::uint64_t hugePageCount() const { return huge_.size(); }
+
+    /** Visit every 4 KiB mapping as (vpn, pfn), unordered. */
+    void forEachSmall(
+        const std::function<void(Vpn, Pfn)> &visit) const;
+
+    /** Visit every 2 MiB mapping as (chunk vpn = vaddr >> 21,
+     *  base pfn in 4 KiB units), unordered. */
+    void forEachHuge(
+        const std::function<void(Vpn, Pfn)> &visit) const;
 
     /** Drop every mapping. */
     void clear();

@@ -9,7 +9,8 @@ namespace sipt::vm
 Tlb::Tlb(const TlbParams &params)
     : numSets_(params.entries / params.assoc),
       assoc_(params.assoc),
-      entries_(params.entries)
+      keys_(params.entries, invalidKey),
+      lastUse_(params.entries, 0)
 {
     if (params.assoc == 0 || params.entries == 0)
         fatal("Tlb: zero entries or associativity");
@@ -19,63 +20,11 @@ Tlb::Tlb(const TlbParams &params)
         fatal("Tlb: number of sets must be a power of two");
 }
 
-Tlb::Entry *
-Tlb::findEntry(Vpn vpn, bool huge_page)
-{
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(vpn) & (numSets_ - 1);
-    Entry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        Entry &e = base[w];
-        if (e.valid && e.vpn == vpn && e.huge == huge_page)
-            return &e;
-    }
-    return nullptr;
-}
-
-bool
-Tlb::lookup(Vpn vpn, bool huge_page)
-{
-    if (Entry *e = findEntry(vpn, huge_page)) {
-        e->lastUse = ++useClock_;
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-    return false;
-}
-
-void
-Tlb::insert(Vpn vpn, bool huge_page)
-{
-    if (Entry *e = findEntry(vpn, huge_page)) {
-        e->lastUse = ++useClock_;
-        return;
-    }
-    const std::uint32_t set =
-        static_cast<std::uint32_t>(vpn) & (numSets_ - 1);
-    Entry *base = &entries_[static_cast<std::size_t>(set) * assoc_];
-    Entry *victim = &base[0];
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        Entry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
-    }
-    victim->valid = true;
-    victim->huge = huge_page;
-    victim->vpn = vpn;
-    victim->lastUse = ++useClock_;
-}
-
 void
 Tlb::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    for (auto &key : keys_)
+        key = invalidKey;
 }
 
 double

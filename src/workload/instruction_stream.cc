@@ -125,4 +125,20 @@ InstructionStream::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+InstructionStream::nextBatch(batch::RefBatch &batch,
+                             std::size_t max_refs)
+{
+    if (max_refs > batch::RefBatch::capacity)
+        max_refs = batch::RefBatch::capacity;
+    batch.clear();
+    MemRef ref;
+    while (batch.size < max_refs) {
+        if (!InstructionStream::next(ref))
+            break;
+        batch.push(ref);
+    }
+    return batch.size;
+}
+
 } // namespace sipt::workload

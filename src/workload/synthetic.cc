@@ -72,6 +72,10 @@ SyntheticWorkload::SyntheticWorkload(
         streamPcs_.push_back(pc);
         pc += 4;
     }
+    for (std::size_t r = 0; r < regions_.size(); ++r)
+        streamPcForRegion_.push_back(
+            streamPcs_[r % streamPcs_.size()]);
+    logOneMinusP_ = std::log(1.0 - profile.memRatio);
 
     allocatePhase();
 }
@@ -180,9 +184,8 @@ Addr
 SyntheticWorkload::pickStreamAddr(std::uint32_t &region_out)
 {
     const std::uint32_t r = nextStreamRegion_;
-    nextStreamRegion_ =
-        (nextStreamRegion_ + 1) %
-        static_cast<std::uint32_t>(regions_.size());
+    if (++nextStreamRegion_ >= regions_.size())
+        nextStreamRegion_ = 0;
     // Region 0 hosts the hot working set; streams there start
     // beyond it so they do not thrash the hot lines (unless the
     // region is too small to separate them).
@@ -205,9 +208,8 @@ SyntheticWorkload::sampleGap()
 {
     // Geometric gap with mean (1-p)/p, p = memRatio.
     const double u = rng_.uniform();
-    const double p = profile_.memRatio;
     const double k = std::floor(std::log(1.0 - u) /
-                                std::log(1.0 - p));
+                                logOneMinusP_);
     return static_cast<std::uint32_t>(
         std::min(k, 200.0));
 }
@@ -219,6 +221,24 @@ SyntheticWorkload::next(MemRef &ref)
     lastVaddr_ = ref.vaddr;
     lastPc_ = ref.pc;
     return ok;
+}
+
+std::size_t
+SyntheticWorkload::nextBatch(batch::RefBatch &batch,
+                             std::size_t max_refs)
+{
+    if (max_refs > batch::RefBatch::capacity)
+        max_refs = batch::RefBatch::capacity;
+    batch.clear();
+    MemRef ref;
+    while (batch.size < max_refs) {
+        if (!generate(ref))
+            break;
+        lastVaddr_ = ref.vaddr;
+        lastPc_ = ref.pc;
+        batch.push(ref);
+    }
+    return batch.size;
 }
 
 bool
@@ -272,7 +292,7 @@ SyntheticWorkload::generate(MemRef &ref)
     }
     std::uint32_t region = 0;
     ref.vaddr = pickStreamAddr(region);
-    ref.pc = streamPcs_[region % streamPcs_.size()];
+    ref.pc = streamPcForRegion_[region];
     ref.op = rng_.chance(profile_.writeFrac) ? MemOp::Store
                                              : MemOp::Load;
     return true;

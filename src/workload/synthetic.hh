@@ -50,6 +50,10 @@ class SyntheticWorkload : public cpu::TraceSource
     /** Generate the next steady-state reference (never ends). */
     bool next(MemRef &ref) override;
 
+    /** Generate a whole batch directly into the SoA lanes. */
+    std::size_t nextBatch(batch::RefBatch &batch,
+                          std::size_t max_refs) override;
+
     const AppProfile &profile() const { return profile_; }
 
     /** Fraction of this workload's memory that is THP-backed. */
@@ -85,6 +89,11 @@ class SyntheticWorkload : public cpu::TraceSource
     std::vector<Addr> chasePcs_;
     std::vector<Addr> hotPcs_;
     std::vector<Addr> streamPcs_;
+    /** streamPcs_[r % streamPcs_.size()] per region, precomputed
+     *  so the steady-state path carries no modulo. */
+    std::vector<Addr> streamPcForRegion_;
+    /** log(1 - memRatio), hoisted out of sampleGap(). */
+    double logOneMinusP_ = 0.0;
     /** Previous reference, for same-object burst generation. */
     Addr lastVaddr_ = 0;
     Addr lastPc_ = 0;

@@ -41,6 +41,22 @@ TraceReplaySource::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+TraceReplaySource::nextBatch(batch::RefBatch &batch,
+                             std::size_t max_refs)
+{
+    if (max_refs > batch::RefBatch::capacity)
+        max_refs = batch::RefBatch::capacity;
+    batch.clear();
+    MemRef ref;
+    while (batch.size < max_refs) {
+        if (!TraceReplaySource::next(ref))
+            break;
+        batch.push(ref);
+    }
+    return batch.size;
+}
+
 void
 TraceReplaySource::reset()
 {

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Batched-vs-scalar engine equivalence. The batch pipeline is the
+ * default engine; the scalar per-reference loop is the reference
+ * implementation. The contract is bit-for-bit identity of every
+ * result a run produces — statistics, energy, derived metrics
+ * JSON, and the SIPT_CHECK functional digest — across indexing
+ * policies, speculative-bit counts, trace replay, partial final
+ * batches, and multicore mixes. The engine selector must also be
+ * invisible to the run-cache key.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace sipt::sim
+{
+namespace
+{
+
+/** Scratch directory for the trace round-trip test. */
+std::string
+scratchFile(const std::string &name)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "sipt_test_batch";
+    std::filesystem::create_directories(dir);
+    return (dir / name).string();
+}
+
+/** Small but non-trivial run sizes: several full batches plus a
+ *  partial tail (batch capacity is 256). */
+SystemConfig
+smallConfig()
+{
+    SystemConfig config;
+    config.warmupRefs = 3'000;
+    config.measureRefs = 12'500;
+    config.check = true; // populate the functional digest
+    return config;
+}
+
+/** Serialised derived-metrics JSON for one run result. */
+std::string
+metricsJson(const RunResult &result)
+{
+    MetricsRegistry metrics;
+    fillRunMetrics(metrics, "run", result);
+    return metrics.toJson().dump();
+}
+
+/** Assert bit-for-bit identity of two run results. */
+void
+expectIdentical(const RunResult &scalar, const RunResult &batch,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(scalar.ipc, batch.ipc);
+    EXPECT_EQ(scalar.cycles, batch.cycles);
+    EXPECT_EQ(scalar.instructions, batch.instructions);
+
+    EXPECT_EQ(scalar.l1.accesses, batch.l1.accesses);
+    EXPECT_EQ(scalar.l1.loads, batch.l1.loads);
+    EXPECT_EQ(scalar.l1.stores, batch.l1.stores);
+    EXPECT_EQ(scalar.l1.hits, batch.l1.hits);
+    EXPECT_EQ(scalar.l1.misses, batch.l1.misses);
+    EXPECT_EQ(scalar.l1.writebacks, batch.l1.writebacks);
+    EXPECT_EQ(scalar.l1.fastAccesses, batch.l1.fastAccesses);
+    EXPECT_EQ(scalar.l1.slowAccesses, batch.l1.slowAccesses);
+    EXPECT_EQ(scalar.l1.extraArrayAccesses,
+              batch.l1.extraArrayAccesses);
+    EXPECT_EQ(scalar.l1.arrayAccesses, batch.l1.arrayAccesses);
+    EXPECT_EQ(scalar.l1.weightedArrayAccesses,
+              batch.l1.weightedArrayAccesses);
+    EXPECT_EQ(scalar.l1.spec.correctSpeculation,
+              batch.l1.spec.correctSpeculation);
+    EXPECT_EQ(scalar.l1.spec.correctBypass,
+              batch.l1.spec.correctBypass);
+    EXPECT_EQ(scalar.l1.spec.opportunityLoss,
+              batch.l1.spec.opportunityLoss);
+    EXPECT_EQ(scalar.l1.spec.extraAccess,
+              batch.l1.spec.extraAccess);
+    EXPECT_EQ(scalar.l1.spec.idbHit, batch.l1.spec.idbHit);
+
+    EXPECT_EQ(scalar.energy.l1Dynamic, batch.energy.l1Dynamic);
+    EXPECT_EQ(scalar.energy.l2Dynamic, batch.energy.l2Dynamic);
+    EXPECT_EQ(scalar.energy.llcDynamic, batch.energy.llcDynamic);
+    EXPECT_EQ(scalar.energy.l1Static, batch.energy.l1Static);
+    EXPECT_EQ(scalar.energy.l2Static, batch.energy.l2Static);
+    EXPECT_EQ(scalar.energy.llcStatic, batch.energy.llcStatic);
+
+    EXPECT_EQ(scalar.l1HitRate, batch.l1HitRate);
+    EXPECT_EQ(scalar.fastFraction, batch.fastFraction);
+    EXPECT_EQ(scalar.wayPredAccuracy, batch.wayPredAccuracy);
+    EXPECT_EQ(scalar.dtlbHitRate, batch.dtlbHitRate);
+    EXPECT_EQ(scalar.pageWalks, batch.pageWalks);
+    EXPECT_EQ(scalar.l1Mpki, batch.l1Mpki);
+    EXPECT_EQ(scalar.hugeCoverage, batch.hugeCoverage);
+
+    EXPECT_EQ(scalar.checkDigest, batch.checkDigest);
+    EXPECT_EQ(scalar.checkEvents, batch.checkEvents);
+    EXPECT_EQ(scalar.checkFailure, batch.checkFailure);
+    EXPECT_TRUE(scalar.checkFailure.empty())
+        << scalar.checkFailure;
+
+    EXPECT_EQ(metricsJson(scalar), metricsJson(batch));
+}
+
+/** Run @p config under both engines and assert identity. */
+void
+compareEngines(const std::string &app, SystemConfig config,
+               const std::string &label)
+{
+    config.engine = EngineSelect::Scalar;
+    const RunResult scalar = runSingleCore(app, config);
+    config.engine = EngineSelect::Batch;
+    const RunResult batch = runSingleCore(app, config);
+    expectIdentical(scalar, batch, label);
+}
+
+TEST(BatchEngine, BitIdenticalAcrossPoliciesAndSpecBits)
+{
+    // L1 geometries spanning 0..3 speculative index bits at 2-way
+    // (32 KiB / 2-way = 2 bits above the 4 KiB page offset, etc.).
+    struct Geometry
+    {
+        std::uint64_t sizeBytes;
+        unsigned specBits;
+    };
+    const Geometry geometries[] = {
+        {8 * 1024, 0},
+        {16 * 1024, 1},
+        {32 * 1024, 2},
+        {64 * 1024, 3},
+    };
+    for (const Geometry &geom : geometries) {
+        std::vector<IndexingPolicy> policies;
+        if (geom.specBits == 0) {
+            // VIPT-feasible geometry: no bits to speculate on.
+            policies = {IndexingPolicy::Vipt,
+                        IndexingPolicy::Ideal};
+        } else {
+            policies = {IndexingPolicy::Ideal,
+                        IndexingPolicy::SiptNaive,
+                        IndexingPolicy::SiptBypass,
+                        IndexingPolicy::SiptCombined};
+        }
+        for (const IndexingPolicy policy : policies) {
+            SystemConfig config = smallConfig();
+            config.l1Config = L1Config::Sipt32K2;
+            config.l1SizeBytes = geom.sizeBytes;
+            config.l1Assoc = 2;
+            config.policy = policy;
+            compareEngines(
+                "gcc", config,
+                "size=" + std::to_string(geom.sizeBytes) +
+                    " policy=" +
+                    std::to_string(static_cast<int>(policy)));
+        }
+    }
+}
+
+TEST(BatchEngine, BitIdenticalWithWayPredictionAndInOrder)
+{
+    SystemConfig config = smallConfig();
+    config.l1Config = L1Config::Sipt32K2;
+    config.policy = IndexingPolicy::SiptCombined;
+    config.wayPrediction = true;
+    compareEngines("hmmer", config, "way-prediction");
+
+    SystemConfig inorder = smallConfig();
+    inorder.outOfOrder = false;
+    inorder.l1Config = L1Config::Sipt32K2;
+    inorder.policy = IndexingPolicy::SiptBypass;
+    compareEngines("mcf", inorder, "in-order core");
+}
+
+TEST(BatchEngine, BitIdenticalUnderMemoryConditions)
+{
+    // Fragmented physical memory and THP-off change the page-table
+    // shape (small-page heavy, scattered frames), exercising both
+    // the flat page-map snapshot and its sparse fallback.
+    for (const MemCondition condition :
+         {MemCondition::Fragmented, MemCondition::ThpOff}) {
+        SystemConfig config = smallConfig();
+        config.l1Config = L1Config::Sipt32K2;
+        config.policy = IndexingPolicy::SiptCombined;
+        config.condition = condition;
+        compareEngines("astar", config,
+                       std::string("condition=") +
+                           conditionName(condition));
+    }
+}
+
+TEST(BatchEngine, PartialFinalBatchSizes)
+{
+    // Batch capacity is 256: cover a run smaller than one batch, a
+    // prime-size run, and a multiple-plus-tail run.
+    for (const std::uint64_t measure : {100ull, 257ull, 1000ull}) {
+        SystemConfig config = smallConfig();
+        config.warmupRefs = 100;
+        config.measureRefs = measure;
+        config.l1Config = L1Config::Sipt32K2;
+        config.policy = IndexingPolicy::SiptCombined;
+        compareEngines("libquantum", config,
+                       "measure=" + std::to_string(measure));
+    }
+}
+
+TEST(BatchEngine, TraceReplayRoundTripBitIdentical)
+{
+    SystemConfig config = smallConfig();
+    config.l1Config = L1Config::Sipt32K2;
+    config.policy = IndexingPolicy::SiptCombined;
+
+    const std::string path = scratchFile("replay.sipttrace");
+    recordTrace("milc", config, path);
+    const std::string app = "trace:" + path;
+
+    // Replay under both engines, and against the live run.
+    config.engine = EngineSelect::Scalar;
+    const RunResult live = runSingleCore("milc", config);
+    const RunResult scalar = runSingleCore(app, config);
+    config.engine = EngineSelect::Batch;
+    const RunResult batch = runSingleCore(app, config);
+    expectIdentical(scalar, batch, "trace replay");
+    EXPECT_EQ(live.checkDigest, batch.checkDigest);
+    EXPECT_EQ(live.ipc, batch.ipc);
+    std::filesystem::remove(path);
+}
+
+TEST(BatchEngine, RadixWalkerFallsBackToScalar)
+{
+    // Radix-walker translation latency depends on the issue cycle,
+    // so the batch engine must fall back; requesting Batch still
+    // has to produce the scalar result.
+    SystemConfig config = smallConfig();
+    config.l1Config = L1Config::Sipt32K2;
+    config.policy = IndexingPolicy::SiptCombined;
+    config.radixWalker = true;
+    compareEngines("gcc", config, "radix walker");
+}
+
+TEST(BatchEngine, MulticoreBitIdentical)
+{
+    SystemConfig config = smallConfig();
+    config.warmupRefs = 1'000;
+    config.measureRefs = 4'000;
+    config.l1Config = L1Config::Sipt32K2;
+    config.policy = IndexingPolicy::SiptCombined;
+    const std::vector<std::string> mix = {"mcf", "hmmer", "gcc",
+                                          "astar"};
+
+    config.engine = EngineSelect::Scalar;
+    const MulticoreResult scalar = runMulticore(mix, config);
+    config.engine = EngineSelect::Batch;
+    const MulticoreResult batch = runMulticore(mix, config);
+
+    ASSERT_EQ(scalar.perCore.size(), batch.perCore.size());
+    for (std::size_t i = 0; i < scalar.perCore.size(); ++i) {
+        expectIdentical(scalar.perCore[i], batch.perCore[i],
+                        "core " + std::to_string(i));
+    }
+    EXPECT_EQ(scalar.sumIpc, batch.sumIpc);
+    EXPECT_EQ(scalar.energy.dynamicTotal(),
+              batch.energy.dynamicTotal());
+    EXPECT_EQ(scalar.energy.staticTotal(),
+              batch.energy.staticTotal());
+}
+
+TEST(BatchEngine, EngineExcludedFromRunCacheKey)
+{
+    SystemConfig a;
+    SystemConfig b = a;
+    b.engine = EngineSelect::Batch;
+    a.engine = EngineSelect::Scalar;
+    // Bit-identical engines: the selector must be invisible to the
+    // run cache, or a sweep could return different-engine results
+    // for the same key (fine) while missing its memo (not fine).
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(hashValue(a), hashValue(b));
+
+    // A result-influencing field must still break equality.
+    b.measureRefs += 1;
+    EXPECT_FALSE(a == b);
+}
+
+} // namespace
+} // namespace sipt::sim

@@ -95,6 +95,26 @@ TEST(ConfigKey, EveryFieldParticipates)
     });
 }
 
+TEST(ConfigKey, EngineIsTheDeliberateException)
+{
+    // The batched and scalar engines are bit-identical in every
+    // result, so the selector must NOT participate in the key: a
+    // sweep memo populated under one engine must be served to the
+    // other (the fuzzer flips engines per sample and relies on
+    // this).
+    const SystemConfig base;
+    for (const EngineSelect engine :
+         {EngineSelect::Auto, EngineSelect::Scalar,
+          EngineSelect::Batch}) {
+        SystemConfig changed = base;
+        changed.engine = engine;
+        EXPECT_TRUE(changed == base)
+            << "engine participates in operator==";
+        EXPECT_EQ(hashValue(changed), hashValue(base))
+            << "engine participates in hashValue()";
+    }
+}
+
 TEST(ConfigKey, ConditionValuesAreDistinct)
 {
     // Fig. 18 sweeps all four conditions against one another;
