@@ -135,14 +135,12 @@ BatchPipeline::run(std::uint64_t max_refs)
     while (remaining > 0) {
         const auto want = static_cast<std::size_t>(
             std::min<std::uint64_t>(remaining,
-                                    RefBatch::capacity));
+                                    cpu::RefBatch::capacity));
         const std::size_t got = source_.nextBatch(batch_, want);
         if (got == 0)
             break;
         translateBatch(batch_);
-        l1_.decideBatch(batch_.size, batch_.pc.data(),
-                        batch_.vaddr.data(), batch_.paddr.data(),
-                        batch_.decision.data());
+        predictBatch(batch_);
         accountBatch(batch_);
         remaining -= got;
         if (got < want)
@@ -152,7 +150,7 @@ BatchPipeline::run(std::uint64_t max_refs)
 }
 
 void
-BatchPipeline::translateBatch(RefBatch &batch)
+BatchPipeline::translateBatch(cpu::RefBatch &batch)
 {
     // The flat snapshot supplies the pure VA->PA function without
     // the page table's hash probes; the TLB hierarchy still sees
@@ -201,7 +199,18 @@ BatchPipeline::translateBatch(RefBatch &batch)
 }
 
 void
-BatchPipeline::accountBatch(RefBatch &batch)
+BatchPipeline::predictBatch(cpu::RefBatch &batch)
+{
+    // Predict stage: sole owner of the predictor tables (IDB,
+    // perceptron, counters). They advance once per reference, in
+    // order, exactly as the scalar loop trains them.
+    l1_.decideBatch(batch.size, batch.pc.data(),
+                    batch.vaddr.data(), batch.paddr.data(),
+                    batch.decision.data());
+}
+
+void
+BatchPipeline::accountBatch(cpu::RefBatch &batch)
 {
     // Tracer check hoisted: one branch per batch, not per access.
     if (!l1_.traceEnabled()) {

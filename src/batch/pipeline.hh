@@ -42,7 +42,6 @@
 #include <string>
 #include <vector>
 
-#include "batch/ref_batch.hh"
 #include "check/options.hh"
 #include "common/types.hh"
 #include "cpu/core.hh"
@@ -134,8 +133,9 @@ class BatchPipeline
     /** Resolve @p vaddr through the snapshot. @pre flat_.valid. */
     vm::Translation flatTranslate(Addr vaddr) const;
 
-    void translateBatch(RefBatch &batch);
-    void accountBatch(RefBatch &batch);
+    void translateBatch(cpu::RefBatch &batch);
+    void predictBatch(cpu::RefBatch &batch);
+    void accountBatch(cpu::RefBatch &batch);
     void checkTranslation(Addr vaddr, Addr paddr);
 
     cpu::TraceSource &source_;
@@ -146,7 +146,7 @@ class BatchPipeline
     check::Options check_;
     BatchOptions options_;
     FlatPageMap flat_;
-    RefBatch batch_;
+    cpu::RefBatch batch_;
     std::string failure_;
 };
 

@@ -13,8 +13,8 @@
  * exactly one RefBatch and recycles it.
  */
 
-#ifndef SIPT_BATCH_REF_BATCH_HH
-#define SIPT_BATCH_REF_BATCH_HH
+#ifndef SIPT_CPU_REF_BATCH_HH
+#define SIPT_CPU_REF_BATCH_HH
 
 #include <array>
 #include <cstddef>
@@ -22,7 +22,7 @@
 
 #include "common/types.hh"
 
-namespace sipt::batch
+namespace sipt::cpu
 {
 
 /**
@@ -99,6 +99,6 @@ struct RefBatch
     }
 };
 
-} // namespace sipt::batch
+} // namespace sipt::cpu
 
-#endif // SIPT_BATCH_REF_BATCH_HH
+#endif // SIPT_CPU_REF_BATCH_HH

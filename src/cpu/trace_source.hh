@@ -10,7 +10,7 @@
 
 #include <cstddef>
 
-#include "batch/ref_batch.hh"
+#include "cpu/ref_batch.hh"
 #include "common/types.hh"
 
 namespace sipt::cpu
@@ -44,10 +44,10 @@ class TraceSource
      * @return batch.size; less than @p max_refs only on exhaustion
      */
     virtual std::size_t
-    nextBatch(batch::RefBatch &batch, std::size_t max_refs)
+    nextBatch(RefBatch &batch, std::size_t max_refs)
     {
-        if (max_refs > batch::RefBatch::capacity)
-            max_refs = batch::RefBatch::capacity;
+        if (max_refs > RefBatch::capacity)
+            max_refs = RefBatch::capacity;
         batch.clear();
         MemRef ref;
         while (batch.size < max_refs && next(ref))

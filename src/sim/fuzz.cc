@@ -1,4 +1,4 @@
-#include "check/fuzz.hh"
+#include "sim/fuzz.hh"
 
 #include <ostream>
 #include <sstream>
@@ -10,7 +10,7 @@
 #include "common/rng.hh"
 #include "workload/profile.hh"
 
-namespace sipt::check
+namespace sipt::sim
 {
 
 namespace
@@ -289,4 +289,4 @@ runCampaign(std::uint64_t master_seed, std::uint64_t count,
     return failures;
 }
 
-} // namespace sipt::check
+} // namespace sipt::sim

@@ -13,8 +13,8 @@
  * `sipt-fuzz --repro` replays exactly.
  */
 
-#ifndef SIPT_CHECK_FUZZ_HH
-#define SIPT_CHECK_FUZZ_HH
+#ifndef SIPT_SIM_FUZZ_HH
+#define SIPT_SIM_FUZZ_HH
 
 #include <cstdint>
 #include <iosfwd>
@@ -25,7 +25,7 @@
 #include "sim/system.hh"
 #include "sipt/l1_cache.hh"
 
-namespace sipt::check
+namespace sipt::sim
 {
 
 /** One fully specified fuzz sample (policy chosen per run). */
@@ -91,6 +91,6 @@ bool parseRepro(const std::string &line, std::uint64_t &seed_out,
 /** The repro line for @p sample (also what failures print). */
 std::string reproLine(const FuzzSample &sample);
 
-} // namespace sipt::check
+} // namespace sipt::sim
 
-#endif // SIPT_CHECK_FUZZ_HH
+#endif // SIPT_SIM_FUZZ_HH

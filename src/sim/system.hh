@@ -126,6 +126,7 @@ struct SystemConfig
      * (the fuzzer relies on this to flip engines without losing
      * cross-sample memoisation).
      */
+    // sipt-analyze: key-exempt(serves both engines)
     EngineSelect engine = EngineSelect::Auto;
 
     /**

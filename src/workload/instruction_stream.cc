@@ -126,11 +126,11 @@ InstructionStream::next(MemRef &ref)
 }
 
 std::size_t
-InstructionStream::nextBatch(batch::RefBatch &batch,
+InstructionStream::nextBatch(cpu::RefBatch &batch,
                              std::size_t max_refs)
 {
-    if (max_refs > batch::RefBatch::capacity)
-        max_refs = batch::RefBatch::capacity;
+    if (max_refs > cpu::RefBatch::capacity)
+        max_refs = cpu::RefBatch::capacity;
     batch.clear();
     MemRef ref;
     while (batch.size < max_refs) {

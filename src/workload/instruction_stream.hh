@@ -82,7 +82,7 @@ class InstructionStream : public cpu::TraceSource
     bool next(MemRef &ref) override;
 
     /** Generate a whole batch of fetch chunks. */
-    std::size_t nextBatch(batch::RefBatch &batch,
+    std::size_t nextBatch(cpu::RefBatch &batch,
                           std::size_t max_refs) override;
 
     const CodeProfile &profile() const { return profile_; }

@@ -224,11 +224,11 @@ SyntheticWorkload::next(MemRef &ref)
 }
 
 std::size_t
-SyntheticWorkload::nextBatch(batch::RefBatch &batch,
+SyntheticWorkload::nextBatch(cpu::RefBatch &batch,
                              std::size_t max_refs)
 {
-    if (max_refs > batch::RefBatch::capacity)
-        max_refs = batch::RefBatch::capacity;
+    if (max_refs > cpu::RefBatch::capacity)
+        max_refs = cpu::RefBatch::capacity;
     batch.clear();
     MemRef ref;
     while (batch.size < max_refs) {

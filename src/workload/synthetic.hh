@@ -51,7 +51,7 @@ class SyntheticWorkload : public cpu::TraceSource
     bool next(MemRef &ref) override;
 
     /** Generate a whole batch directly into the SoA lanes. */
-    std::size_t nextBatch(batch::RefBatch &batch,
+    std::size_t nextBatch(cpu::RefBatch &batch,
                           std::size_t max_refs) override;
 
     const AppProfile &profile() const { return profile_; }

@@ -47,7 +47,7 @@ class TraceReplaySource : public cpu::TraceSource
     bool next(MemRef &ref) override;
 
     /** Decode a whole batch of records. */
-    std::size_t nextBatch(batch::RefBatch &batch,
+    std::size_t nextBatch(cpu::RefBatch &batch,
                           std::size_t max_refs) override;
 
     /** Restart from the first record. */

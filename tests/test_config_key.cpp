@@ -6,6 +6,8 @@
  * result for a different experiment.
  */
 
+#include <string_view>
+
 #include <gtest/gtest.h>
 
 #include "sim/system.hh"
@@ -14,6 +16,15 @@ namespace sipt::sim
 {
 namespace
 {
+
+/**
+ * The SystemConfig fields deliberately excluded from the run-cache
+ * key. This list must match, name for name, the fields annotated
+ * `// sipt-analyze: key-exempt(...)` in sim/system.hh — the
+ * sipt-analyze config-key pass diffs the two, so the annotation
+ * and this test cannot drift apart silently.
+ */
+const char *const kKeyExemptFields[] = {"engine"};
 
 /** Mutate one field, expect inequality and a hash change. */
 template <typename Mutate>
@@ -112,6 +123,31 @@ TEST(ConfigKey, EngineIsTheDeliberateException)
             << "engine participates in operator==";
         EXPECT_EQ(hashValue(changed), hashValue(base))
             << "engine participates in hashValue()";
+    }
+}
+
+TEST(ConfigKey, ExemptListFlipsLeaveTheKeyUnchanged)
+{
+    // Walk kKeyExemptFields and perturb each named field, proving
+    // every listed exemption really is outside the key. A field
+    // added to the key without removing it from the exemption
+    // list (or vice versa) fails either here or in sipt-analyze.
+    const SystemConfig base;
+    for (const char *field : kKeyExemptFields) {
+        SystemConfig changed = base;
+        if (std::string_view{field} == "engine") {
+            changed.engine = EngineSelect::Scalar;
+        } else {
+            FAIL() << "kKeyExemptFields names `" << field
+                   << "` but this test has no mutation for it; "
+                      "add one so the exemption stays proven";
+        }
+        EXPECT_TRUE(changed == base)
+            << field << " participates in operator== despite "
+                        "its key-exempt annotation";
+        EXPECT_EQ(hashValue(changed), hashValue(base))
+            << field << " participates in hashValue() despite "
+                        "its key-exempt annotation";
     }
 }
 

@@ -13,11 +13,11 @@
 
 #include <gtest/gtest.h>
 
-#include "check/fuzz.hh"
+#include "sim/fuzz.hh"
 #include "common/bitops.hh"
 #include "sim/sweep.hh"
 
-namespace sipt::check
+namespace sipt::sim
 {
 namespace
 {
@@ -186,4 +186,4 @@ TEST(Fuzz, MutatedOracleFailsTheCampaignWithRepro)
 }
 
 } // namespace
-} // namespace sipt::check
+} // namespace sipt::sim

@@ -26,8 +26,8 @@
 #include <iostream>
 #include <string>
 
-#include "check/fuzz.hh"
 #include "check/options.hh"
+#include "sim/fuzz.hh"
 #include "sim/sweep.hh"
 
 namespace
@@ -49,11 +49,11 @@ replay(std::uint64_t seed, std::uint64_t index,
        sipt::sim::SweepRunner &runner)
 {
     using namespace sipt;
-    const check::FuzzSample sample = check::sampleAt(seed, index);
-    std::cout << "replaying " << check::reproLine(sample) << "\n";
+    const sim::FuzzSample sample = sim::sampleAt(seed, index);
+    std::cout << "replaying " << sim::reproLine(sample) << "\n";
 
     for (const IndexingPolicy policy :
-         check::policiesFor(sample.config)) {
+         sim::policiesFor(sample.config)) {
         sim::SystemConfig config = sample.config;
         config.policy = policy;
         const sim::RunResult r =
@@ -67,8 +67,8 @@ replay(std::uint64_t seed, std::uint64_t index,
                   << "\n";
     }
 
-    const check::SampleResult verdict =
-        check::runSample(sample, runner);
+    const sim::SampleResult verdict =
+        sim::runSample(sample, runner);
     if (verdict.passed) {
         std::cout << "sample is policy-invariant and clean\n";
         return 0;
@@ -120,7 +120,7 @@ main(int argc, char **argv)
     if (!repro.empty()) {
         std::uint64_t r_seed = 0;
         std::uint64_t r_index = 0;
-        if (!sipt::check::parseRepro(repro, r_seed, r_index)) {
+        if (!sipt::sim::parseRepro(repro, r_seed, r_index)) {
             std::cerr << "sipt-fuzz: unparsable repro line\n";
             return 2;
         }
@@ -133,7 +133,7 @@ main(int argc, char **argv)
               << seed << ", mutation "
               << sipt::check::mutationName(mutation) << "\n";
     const std::uint64_t failures =
-        sipt::check::runCampaign(seed, count, runner, std::cout);
+        sipt::sim::runCampaign(seed, count, runner, std::cout);
     std::cout << "sipt-fuzz: " << failures << "/" << count
               << " samples diverged\n";
 
