@@ -220,6 +220,7 @@ DifferentialChecker::DifferentialChecker(const Options &options,
     : options_(options),
       golden_(size_bytes, assoc, line_bytes, strict_lru,
               options.mutation),
+      vivt_(size_bytes, assoc, line_bytes),
       digest_(fnv1a64({}))
 {
 }
@@ -282,6 +283,10 @@ DifferentialChecker::onAccess(const Observation &obs,
     event.writebackLine = obs.writeback ? obs.evictedLine : 0;
     foldEvent(event);
 
+    // The strawman sees the same stream; it only counts the
+    // synonym bookkeeping a VIVT cache would have needed.
+    vivt_.access(obs.vaddr, obs.paddr, obs.op);
+
     const std::string diff = golden_.access(obs);
     if (!diff.empty()) {
         return fail(msg("access #", event.index, ": ", diff));
@@ -303,6 +308,7 @@ DifferentialChecker::resetStream()
     digest_ = fnv1a64({});
     eventCount_ = 0;
     events_.clear();
+    vivt_.resetStats();
 }
 
 FillTracker::FillTracker(std::uint32_t line_bytes)

@@ -36,6 +36,7 @@
 
 #include "check/invariants.hh"
 #include "check/options.hh"
+#include "check/vivt_model.hh"
 #include "common/types.hh"
 
 namespace sipt::check
@@ -203,6 +204,14 @@ class DifferentialChecker
 
     const GoldenL1 &golden() const { return golden_; }
 
+    /**
+     * The VIVT strawman run in lockstep beside the golden model.
+     * Pure bookkeeping: its reverse-map probe and synonym
+     * invalidation counters quantify what SIPT's physical tags
+     * avoid; it never contributes to the digest or to failures.
+     */
+    const VivtSynonymModel &vivt() const { return vivt_; }
+
   private:
     /** Record @p message as the sticky first failure (or panic
      *  under abortOnDivergence). @return false for chaining. */
@@ -213,6 +222,7 @@ class DifferentialChecker
 
     Options options_;
     GoldenL1 golden_;
+    VivtSynonymModel vivt_;
     std::uint64_t digest_;
     std::uint64_t eventCount_ = 0;
     std::string failure_;

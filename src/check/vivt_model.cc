@@ -1,0 +1,139 @@
+#include "check/vivt_model.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace sipt::check
+{
+
+VivtSynonymModel::VivtSynonymModel(std::uint64_t size_bytes,
+                                   std::uint32_t assoc,
+                                   std::uint32_t line_bytes)
+    : assoc_(assoc)
+{
+    if (size_bytes == 0 || assoc == 0 || line_bytes == 0 ||
+        !isPowerOfTwo(line_bytes)) {
+        fatal("VivtSynonymModel: bad geometry ", size_bytes, "B/",
+              assoc, "w/", line_bytes, "B lines");
+    }
+    const std::uint64_t sets =
+        size_bytes / (static_cast<std::uint64_t>(assoc) *
+                      line_bytes);
+    if (sets == 0 || !isPowerOfTwo(sets)) {
+        fatal("VivtSynonymModel: set count (", sets,
+              ") must be a nonzero power of two");
+    }
+    numSets_ = static_cast<std::uint32_t>(sets);
+    lineShift_ = floorLog2(line_bytes);
+}
+
+std::uint32_t
+VivtSynonymModel::setOf(Addr vaddr) const
+{
+    return static_cast<std::uint32_t>(
+               blockNumber(vaddr, lineShift_)) &
+           (numSets_ - 1);
+}
+
+Addr
+VivtSynonymModel::lineBase(Addr addr) const
+{
+    return blockBase(blockNumber(addr, lineShift_), lineShift_);
+}
+
+std::uint64_t
+VivtSynonymModel::residentLines() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[set, lines] : sets_)
+        total += lines.size();
+    return total;
+}
+
+bool
+VivtSynonymModel::containsVirtual(Addr vaddr) const
+{
+    const auto it = sets_.find(setOf(vaddr));
+    if (it == sets_.end())
+        return false;
+    const Addr vline = lineBase(vaddr);
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [vline](const Line &l) {
+                           return l.vline == vline;
+                       });
+}
+
+void
+VivtSynonymModel::invalidate(Addr vline)
+{
+    Set &set = sets_[setOf(vline)];
+    const auto it = std::find_if(set.begin(), set.end(),
+                                 [vline](const Line &l) {
+                                     return l.vline == vline;
+                                 });
+    SIPT_ASSERT(it != set.end(),
+                "reverse map points at a non-resident line");
+    reverse_.erase(it->pline);
+    set.erase(it);
+}
+
+void
+VivtSynonymModel::access(Addr vaddr, Addr paddr, MemOp op)
+{
+    ++stats_.lookups;
+    const Addr vline = lineBase(vaddr);
+    const Addr pline = lineBase(paddr);
+    const bool store = op == MemOp::Store;
+    Set &resident = sets_[setOf(vaddr)];
+
+    const auto hit_it =
+        std::find_if(resident.begin(), resident.end(),
+                     [vline](const Line &l) {
+                         return l.vline == vline;
+                     });
+    if (hit_it != resident.end()) {
+        ++stats_.virtualHits;
+        if (store)
+            hit_it->dirty = true;
+        std::rotate(resident.begin(), hit_it, hit_it + 1);
+        return;
+    }
+
+    // Virtual-tag miss: the physical line may still be cached
+    // under another name, so the reverse map must be consulted
+    // before the fill — this is the synonym bookkeeping a VIVT L1
+    // cannot avoid.
+    ++stats_.reverseMapProbes;
+    bool dirty = store;
+    const auto rev = reverse_.find(pline);
+    if (rev != reverse_.end()) {
+        ++stats_.synonymInvalidations;
+        const Addr old_vline = rev->second;
+        Set &old_set = sets_[setOf(old_vline)];
+        const auto old_it =
+            std::find_if(old_set.begin(), old_set.end(),
+                         [old_vline](const Line &l) {
+                             return l.vline == old_vline;
+                         });
+        SIPT_ASSERT(old_it != old_set.end(),
+                    "reverse map points at a non-resident line");
+        if (old_it->dirty) {
+            // The displaced copy holds the freshest data: forward
+            // it into the new copy instead of losing the write.
+            ++stats_.dirtyForwards;
+            dirty = true;
+        }
+        reverse_.erase(rev);
+        old_set.erase(old_it);
+    }
+
+    if (resident.size() >= assoc_)
+        invalidate(resident.back().vline);
+
+    resident.insert(resident.begin(), Line{vline, pline, dirty});
+    reverse_.emplace(pline, vline);
+}
+
+} // namespace sipt::check

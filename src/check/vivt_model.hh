@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The VIVT strawman: an untimed virtually-indexed, virtually-tagged
+ * L1 with a reverse-lookup synonym table, run in lockstep with the
+ * golden model so SIPT's "synonyms for free" claim has a measured
+ * counterfactual.
+ *
+ * A VIVT cache hits on virtual line addresses, so two names of the
+ * same physical line are *different* lines to it. To stay coherent
+ * it must keep a reverse map from physical line to the virtual line
+ * currently cached (the synonym table of Desai & Deshmukh,
+ * arXiv 2108.00444): every virtual-tag miss probes the reverse map,
+ * and when the physical line is already cached under another name
+ * that copy is invalidated (forwarding its dirty data) before the
+ * fill — the bookkeeping SIPT's physical tags eliminate outright.
+ *
+ * The model maintains exactly one cached copy per physical line and
+ * only *counts* its bookkeeping; it never influences digests,
+ * timing, or energy. DifferentialChecker feeds it the same
+ * observation stream as the golden model, so its counters are
+ * policy- and engine-invariant like every other functional fact.
+ */
+
+#ifndef SIPT_CHECK_VIVT_MODEL_HH
+#define SIPT_CHECK_VIVT_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sipt::check
+{
+
+/** Bookkeeping the VIVT strawman needed for one access stream. */
+struct VivtStats
+{
+    /** Accesses run through the model. */
+    std::uint64_t lookups = 0;
+    /** Hits under the virtual tag (no synonym work needed). */
+    std::uint64_t virtualHits = 0;
+    /** Reverse-map consultations (every virtual-tag miss). */
+    std::uint64_t reverseMapProbes = 0;
+    /** Cached copies invalidated because the same physical line
+     *  was re-accessed under a different virtual name. */
+    std::uint64_t synonymInvalidations = 0;
+    /** Invalidated copies that were dirty, forcing a data
+     *  forward/writeback before the refill. */
+    std::uint64_t dirtyForwards = 0;
+};
+
+/**
+ * The strawman cache. Geometry mirrors the checked L1 so the two
+ * models see the same capacity pressure.
+ */
+class VivtSynonymModel
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size (power of two)
+     */
+    VivtSynonymModel(std::uint64_t size_bytes, std::uint32_t assoc,
+                     std::uint32_t line_bytes);
+
+    /** Run one access (virtual + physical address, op). */
+    void access(Addr vaddr, Addr paddr, MemOp op);
+
+    const VivtStats &stats() const { return stats_; }
+
+    /** Warmup boundary: zero the counters, keep cache contents
+     *  and the reverse map (mirror of resetStream()). */
+    void resetStats() { stats_ = VivtStats{}; }
+
+    /** Lines currently resident (inspection aid for tests). */
+    std::uint64_t residentLines() const;
+
+    /** True when the virtual line holding @p vaddr is resident. */
+    bool containsVirtual(Addr vaddr) const;
+
+    /** Reverse-map entries; equals residentLines() while the
+     *  one-copy-per-physical-line invariant holds. */
+    std::uint64_t reverseMapSize() const { return reverse_.size(); }
+
+  private:
+    struct Line
+    {
+        /** Virtual line base (the tag). */
+        Addr vline = 0;
+        /** Physical line base (reverse-map key). */
+        Addr pline = 0;
+        bool dirty = false;
+    };
+
+    /** MRU-front list of resident lines of one set. */
+    using Set = std::vector<Line>;
+
+    std::uint32_t setOf(Addr vaddr) const;
+    Addr lineBase(Addr addr) const;
+
+    /** Drop @p line from its set and the reverse map. */
+    void invalidate(Addr vline);
+
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    unsigned lineShift_;
+    std::unordered_map<std::uint32_t, Set> sets_;
+    /** Physical line -> virtual line currently caching it. */
+    std::unordered_map<Addr, Addr> reverse_;
+    VivtStats stats_;
+};
+
+} // namespace sipt::check
+
+#endif // SIPT_CHECK_VIVT_MODEL_HH

@@ -77,6 +77,96 @@ AddressSpace::mmapAlias(Addr existing_va, std::uint64_t length,
     return base;
 }
 
+Addr
+AddressSpace::mmapShared(const SharedSegment &segment,
+                         unsigned align_log2,
+                         std::uint64_t skew_pages)
+{
+    if (segment.hugePages()) {
+        if (align_log2 < hugePageShift)
+            fatal("mmapShared: huge segment needs >= 2MiB "
+                  "alignment");
+        if (skew_pages % pagesPerHugePage != 0)
+            fatal("mmapShared: huge segment skew must be whole "
+                  "2MiB chunks, got ", skew_pages, " pages");
+    }
+    const Addr base = mmap(segment.length(), align_log2,
+                           skew_pages);
+    if (segment.hugePages()) {
+        const std::uint64_t chunks =
+            segment.length() / hugePageSize;
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+            pageTable_.mapHugePage(base + c * hugePageSize,
+                                   segment.chunkPfn(c));
+        }
+    } else {
+        const std::uint64_t pages = segment.pages();
+        for (std::uint64_t p = 0; p < pages; ++p) {
+            pageTable_.mapPage(base + p * pageSize,
+                               segment.pagePfn(p));
+        }
+    }
+    // No allocation record: the frames belong to the segment and
+    // outlive any one attachment.
+    return base;
+}
+
+Addr
+AddressSpace::mmapCow(Addr existing_va, std::uint64_t length,
+                      unsigned align_log2,
+                      std::uint64_t skew_pages)
+{
+    if (length == 0)
+        fatal("mmapCow of zero length");
+    length = alignUp(length, pageSize);
+    const Addr base = mmap(length, align_log2, skew_pages);
+    for (Addr off = 0; off < length; off += pageSize) {
+        const Addr src = existing_va + off;
+        const auto xlat = pageTable_.translate(src);
+        if (!xlat)
+            fatal("mmapCow: source va ", src, " not mapped");
+        if (xlat->hugePage)
+            fatal("mmapCow: source va ", src,
+                  " is huge-page mapped");
+        pageTable_.mapPage(base + off, pageNumber(xlat->paddr));
+        cowShares_.emplace(pageNumber(base + off),
+                           CowShare{src});
+    }
+    return base;
+}
+
+bool
+AddressSpace::storeTouch(Addr vaddr)
+{
+    touch(vaddr);
+    const auto it = cowShares_.find(pageNumber(vaddr));
+    if (it == cowShares_.end())
+        return false;
+    // First store through a shared clone page: give it a private
+    // frame (the fork child's copy) and stop tracking the share.
+    const Addr page_va = alignDown(vaddr, pageSize);
+    pageTable_.unmapPage(page_va);
+    mapSmall(page_va);
+    cowShares_.erase(it);
+    ++cowBreaks_;
+    return true;
+}
+
+void
+AddressSpace::unmapPage(Addr vaddr)
+{
+    if (pageTable_.isHugeMapped(vaddr))
+        fatal("unmapPage: va ", vaddr, " is huge-page mapped");
+    pageTable_.unmapPage(vaddr);
+    cowShares_.erase(pageNumber(vaddr));
+}
+
+std::uint64_t
+AddressSpace::cowSharedPages() const
+{
+    return cowShares_.size();
+}
+
 std::vector<std::pair<Addr, std::uint64_t>>
 AddressSpace::regionSpans() const
 {

@@ -14,12 +14,14 @@
 #define SIPT_OS_ADDRESS_SPACE_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "os/buddy_allocator.hh"
+#include "os/shared_segment.hh"
 #include "vm/page_table.hh"
 
 namespace sipt::os
@@ -106,6 +108,60 @@ class AddressSpace
                    unsigned align_log2 = hugePageShift,
                    std::uint64_t skew_pages = 0);
 
+    /**
+     * Attach a shared segment (shmat): reserve a region the size
+     * of @p segment and map every page to the segment's frames.
+     * Any number of address spaces — or the same one, repeatedly,
+     * at skewed bases — may attach the same segment; the frames
+     * stay owned by the segment. Huge segments are mapped with
+     * 2 MiB pages, so for them @p align_log2 must be
+     * >= hugePageShift and @p skew_pages a multiple of the pages
+     * per huge page (sub-2MiB skew cannot exist at that mapping
+     * granularity, which is exactly the VESPA superpage property).
+     *
+     * @return base virtual address of the attached region
+     */
+    Addr mmapShared(const SharedSegment &segment,
+                    unsigned align_log2 = hugePageShift,
+                    std::uint64_t skew_pages = 0);
+
+    /**
+     * Fork-style copy-on-write clone of an existing mapping: like
+     * mmapAlias(), the new region's pages initially share the
+     * source pages' frames, but the sharing is tracked so a later
+     * storeTouch() through the clone breaks it — the faulting page
+     * gets a private frame, as the child of a fork would. Loads
+     * through either name keep sharing. The one-sided model (only
+     * the clone breaks, the source keeps the original frame)
+     * matches a parent that keeps running in place.
+     *
+     * @return base virtual address of the COW clone region
+     */
+    Addr mmapCow(Addr existing_va, std::uint64_t length,
+                 unsigned align_log2 = hugePageShift,
+                 std::uint64_t skew_pages = 0);
+
+    /**
+     * touch() for a store: additionally resolves copy-on-write.
+     * When @p vaddr lies in a still-shared page of a mmapCow()
+     * region, the page is remapped to a freshly allocated private
+     * frame before the store proceeds.
+     *
+     * @return true when this store broke a COW share
+     */
+    bool storeTouch(Addr vaddr);
+
+    /**
+     * Discard the 4 KiB mapping containing @p vaddr (partial
+     * munmap / MADV_DONTNEED). The region stays reserved, so a
+     * later touch demand-faults a fresh frame. Frames owned by
+     * this address space are returned at destruction as usual;
+     * alias/COW-shared frames stay with their owner. Fatal on
+     * huge-page mappings (partial unmap of a huge page is not
+     * modelled).
+     */
+    void unmapPage(Addr vaddr);
+
     /** Translate @p vaddr, faulting the page in first if needed. */
     vm::Translation translateTouch(Addr vaddr);
 
@@ -145,6 +201,15 @@ class AddressSpace
     /** Fraction of mapped memory backed by huge pages. */
     double hugeCoverage() const;
 
+    /** Copy-on-write shares broken by storeTouch() so far. */
+    std::uint64_t cowBreaks() const { return cowBreaks_; }
+
+    /** COW clone pages still sharing their source frame. */
+    std::uint64_t cowSharedPages() const;
+
+    /** The physical allocator backing this address space. */
+    BuddyAllocator &allocator() { return allocator_; }
+
     const PagingPolicy &policy() const { return policy_; }
 
   private:
@@ -152,6 +217,13 @@ class AddressSpace
     {
         Addr base;
         std::uint64_t length;
+    };
+
+    /** One mmapCow() page still sharing its source frame. */
+    struct CowShare
+    {
+        /** Source VA whose frame the clone page borrows. */
+        Addr sourceVa;
     };
 
     struct Allocation
@@ -176,8 +248,11 @@ class AddressSpace
     vm::PageTable pageTable_;
     std::vector<Region> regions_;
     std::vector<Allocation> allocations_;
+    /** Still-shared COW clone pages, keyed by clone VPN. */
+    std::unordered_map<Vpn, CowShare> cowShares_;
     std::uint64_t hugeFaults_ = 0;
     std::uint64_t smallFaults_ = 0;
+    std::uint64_t cowBreaks_ = 0;
 };
 
 } // namespace sipt::os

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "workload/profile.hh"
+#include "workload/synonym.hh"
 
 namespace sipt::sim
 {
@@ -77,11 +78,17 @@ countersOf(const sim::RunResult &r)
             r.l1.stores};
 }
 
-/** Diff one sample's per-policy results; empty when invariant. */
+/**
+ * Diff one sample's per-policy results; empty when invariant.
+ * @p expect_synonyms is true for multi-mapping workloads, where
+ * the VIVT strawman must have needed synonym invalidations while
+ * SIPT's digest stayed identical to golden.
+ */
 std::string
 diffPolicies(
     const std::vector<std::pair<IndexingPolicy, sim::RunResult>>
-        &runs)
+        &runs,
+    bool expect_synonyms)
 {
     if (runs.empty())
         return "no runnable policy";
@@ -94,6 +101,13 @@ diffPolicies(
         }
         if (result.checkEvents == 0)
             return "checker recorded no events (checking off?)";
+        if (expect_synonyms && result.vivtInvalidations == 0) {
+            std::ostringstream os;
+            os << policyName(policy)
+               << ": synonym workload, but the VIVT strawman saw "
+                  "no synonym invalidations";
+            return os.str();
+        }
     }
     const auto &[ref_policy, ref] = runs.front();
     for (const auto &[policy, result] : runs) {
@@ -117,6 +131,24 @@ diffPolicies(
                << result.l1.writebacks << " vs " << ref.l1.hits
                << "/" << ref.l1.misses << "/"
                << ref.l1.writebacks;
+            return os.str();
+        }
+        // Strawman bookkeeping is fed from the same observation
+        // stream, so it must be exactly as policy- and
+        // engine-invariant as the digest.
+        if (result.vivtReverseProbes != ref.vivtReverseProbes ||
+            result.vivtInvalidations != ref.vivtInvalidations ||
+            result.vivtDirtyForwards != ref.vivtDirtyForwards) {
+            std::ostringstream os;
+            os << "VIVT bookkeeping divergence vs "
+               << policyName(ref_policy) << ": "
+               << policyName(policy) << " probes/inval/fwd "
+               << result.vivtReverseProbes << "/"
+               << result.vivtInvalidations << "/"
+               << result.vivtDirtyForwards << " vs "
+               << ref.vivtReverseProbes << "/"
+               << ref.vivtInvalidations << "/"
+               << ref.vivtDirtyForwards;
             return os.str();
         }
     }
@@ -160,6 +192,29 @@ sampleAt(std::uint64_t master_seed, std::uint64_t index)
                                : sim::EngineSelect::Scalar;
     c.condition =
         static_cast<sim::MemCondition>(rng.below(4));
+
+    // A quarter of the samples swap the figure app for a
+    // multi-mapping synonym scenario, sampling the profile knobs
+    // (mode, alias count, index-bit skew, huge-page backing). The
+    // canonical app name round-trips through the repro line's
+    // "app" field, so a failing sample replays exactly.
+    if (rng.chance(0.25)) {
+        workload::SynonymSpec spec;
+        spec.mode = static_cast<workload::SynonymSpec::Mode>(
+            rng.below(3));
+        spec.mappings =
+            2 + static_cast<std::uint32_t>(rng.below(3));
+        spec.skewPages =
+            static_cast<std::uint32_t>(rng.below(8));
+        // Fragmented memory starves the 2 MiB buddy order a huge
+        // shared segment needs, so huge profiles only run on the
+        // other conditions.
+        if (spec.mode == workload::SynonymSpec::Mode::Shared &&
+            c.condition != sim::MemCondition::Fragmented) {
+            spec.hugePages = rng.chance(0.5);
+        }
+        sample.app = workload::synonymAppName(spec);
+    }
 
     // Small machine + short phases keep one sample cheap; the
     // campaign gets its coverage from sample count, not from the
@@ -239,7 +294,8 @@ runSample(const FuzzSample &sample, sim::SweepRunner &runner)
         runs.emplace_back(policy, future.get());
 
     SampleResult result;
-    const std::string diff = diffPolicies(runs);
+    const std::string diff = diffPolicies(
+        runs, workload::isSynonymApp(sample.app));
     if (!diff.empty()) {
         result.passed = false;
         result.failure = diff;
@@ -278,7 +334,8 @@ runCampaign(std::uint64_t master_seed, std::uint64_t count,
         runs.reserve(futures[i].size());
         for (auto &[policy, future] : futures[i])
             runs.emplace_back(policy, future.get());
-        const std::string diff = diffPolicies(runs);
+        const std::string diff = diffPolicies(
+            runs, workload::isSynonymApp(samples[i].app));
         if (!diff.empty()) {
             ++failures;
             out << "FAIL sample " << i << " (app "

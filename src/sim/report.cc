@@ -96,6 +96,12 @@ fillRunMetrics(MetricsRegistry &metrics,
                      result.wayPredAccuracy);
     metrics.setValue(p("dtlbHitRate"), result.dtlbHitRate);
     metrics.setCounter(p("pageWalks"), result.pageWalks);
+    metrics.setCounter(p("vivt.reverseProbes"),
+                       result.vivtReverseProbes);
+    metrics.setCounter(p("vivt.invalidations"),
+                       result.vivtInvalidations);
+    metrics.setCounter(p("vivt.dirtyForwards"),
+                       result.vivtDirtyForwards);
 }
 
 void

@@ -54,8 +54,9 @@ traceWorkerLane()
 
 /** Bump when the serialised key/result layout changes; stale
  *  cache files then simply miss instead of mis-parsing.
- *  v3: trace-app content hashes joined the key. */
-constexpr std::uint64_t cacheFormatVersion = 3;
+ *  v3: trace-app content hashes joined the key.
+ *  v4: VIVT strawman counters joined RunResult. */
+constexpr std::uint64_t cacheFormatVersion = 4;
 
 /**
  * Content hash of the trace file behind a "trace:<path>" app,
@@ -210,6 +211,9 @@ runResultToJson(const RunResult &r)
     j.set("checkDigest", r.checkDigest);
     j.set("checkEvents", r.checkEvents);
     j.set("checkFailure", r.checkFailure);
+    j.set("vivtReverseProbes", r.vivtReverseProbes);
+    j.set("vivtInvalidations", r.vivtInvalidations);
+    j.set("vivtDirtyForwards", r.vivtDirtyForwards);
     return j;
 }
 
@@ -233,6 +237,9 @@ runResultFromJson(const Json &j)
     r.checkDigest = j.get("checkDigest").asUint();
     r.checkEvents = j.get("checkEvents").asUint();
     r.checkFailure = j.get("checkFailure").asString();
+    r.vivtReverseProbes = j.get("vivtReverseProbes").asUint();
+    r.vivtInvalidations = j.get("vivtInvalidations").asUint();
+    r.vivtDirtyForwards = j.get("vivtDirtyForwards").asUint();
     return r;
 }
 

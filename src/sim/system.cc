@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string_view>
 
@@ -12,7 +13,9 @@
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
 #include "os/fragmenter.hh"
+#include "os/shared_segment.hh"
 #include "workload/profile.hh"
+#include "workload/synonym.hh"
 #include "workload/synthetic.hh"
 #include "workload/trace_record.hh"
 #include "workload/trace_replay.hh"
@@ -178,7 +181,8 @@ policyFor(const SystemConfig &config, double thp_affinity)
 CoreInstance
 buildCore(const SystemConfig &config, const std::string &app,
           os::BuddyAllocator &buddy, cache::TimingCache &llc,
-          dram::Dram &dram, std::uint64_t seed)
+          dram::Dram &dram, std::uint64_t seed,
+          const os::SharedSegment *shared = nullptr)
 {
     CoreInstance inst;
     if (isTraceApp(app)) {
@@ -190,6 +194,17 @@ buildCore(const SystemConfig &config, const std::string &app,
         inst.workload =
             std::make_unique<workload::TraceReplaySource>(
                 traceAppPath(app), *inst.as, /*loop=*/true);
+    } else if (workload::isSynonymApp(app)) {
+        // Multi-mapping scenarios: mmapAlias/mmapCow need
+        // small-mapped sources, so THP stays off for these
+        // regardless of condition. Footprints are fixed (no
+        // scaling): a few hundred KiB against gigabytes.
+        inst.as = std::make_unique<os::AddressSpace>(
+            buddy, policyFor(config, 0.0), seed + 1);
+        inst.workload =
+            std::make_unique<workload::SynonymWorkload>(
+                workload::synonymSpec(app), *inst.as, seed + 2,
+                shared);
     } else {
         workload::AppProfile profile = workload::appProfile(app);
         profile.footprintBytes = static_cast<std::uint64_t>(
@@ -297,6 +312,12 @@ collect(const std::string &app, const SystemConfig &config,
         r.checkFailure = inst.port->checkFailure();
     if (r.checkFailure.empty() && inst.pipeline)
         r.checkFailure = inst.pipeline->checkFailure();
+    if (const auto *checker = inst.l1->checker()) {
+        const auto &vivt = checker->vivt().stats();
+        r.vivtReverseProbes = vivt.reverseMapProbes;
+        r.vivtInvalidations = vivt.synonymInvalidations;
+        r.vivtDirtyForwards = vivt.dirtyForwards;
+    }
     (void)config;
     return r;
 }
@@ -370,19 +391,30 @@ recordTrace(const std::string &app, const SystemConfig &config,
         fragmenter.fragmentTo(0.95, 9, sys_rng, 0.30);
 
     const std::uint64_t seed = config.seed + 10;
-    workload::AppProfile profile = workload::appProfile(app);
-    profile.footprintBytes = static_cast<std::uint64_t>(
-        static_cast<double>(profile.footprintBytes) *
-        config.footprintScale);
-    os::AddressSpace as(buddy,
-                        policyFor(config, profile.thpAffinity),
-                        seed + 1);
-    workload::SyntheticWorkload workload(profile, as, seed + 2);
+    std::unique_ptr<os::AddressSpace> as;
+    std::unique_ptr<cpu::TraceSource> source;
+    if (workload::isSynonymApp(app)) {
+        as = std::make_unique<os::AddressSpace>(
+            buddy, policyFor(config, 0.0), seed + 1);
+        source = std::make_unique<workload::SynonymWorkload>(
+            workload::synonymSpec(app), *as, seed + 2);
+    } else {
+        workload::AppProfile profile = workload::appProfile(app);
+        profile.footprintBytes = static_cast<std::uint64_t>(
+            static_cast<double>(profile.footprintBytes) *
+            config.footprintScale);
+        as = std::make_unique<os::AddressSpace>(
+            buddy, policyFor(config, profile.thpAffinity),
+            seed + 1);
+        source = std::make_unique<workload::SyntheticWorkload>(
+            profile, *as, seed + 2);
+    }
 
-    // Allocation phase done: snapshot the layout, then tee the
-    // stream a core would consume into the file.
-    workload::TraceRecorder recorder(path, app, config.seed, as);
-    cpu::TeeSource tee(workload, recorder);
+    // Allocation phase done: snapshot the layout (for synonym
+    // apps that layout is many-to-one), then tee the stream a
+    // core would consume into the file.
+    workload::TraceRecorder recorder(path, app, config.seed, *as);
+    cpu::TeeSource tee(*source, recorder);
     const std::uint64_t total =
         config.warmupRefs + config.measureRefs;
     MemRef ref;
@@ -487,12 +519,44 @@ runMulticore(const std::vector<std::string> &mix,
     dram::Dram dram;
     cache::TimingCache llc(llcPreset(config.outOfOrder, cores));
 
+    // Shared-mode synonym apps naming the same profile attach the
+    // same physical segment from every core — cross-core synonyms
+    // over the shared LLC, not per-core private copies. Declared
+    // before the cores so the frames outlive every address space
+    // mapping them.
+    std::map<std::string, std::unique_ptr<os::SharedSegment>>
+        segments;
+    for (const std::string &app : mix) {
+        if (!workload::isSynonymApp(app))
+            continue;
+        const workload::SynonymSpec spec =
+            workload::synonymSpec(app);
+        if (spec.mode != workload::SynonymSpec::Mode::Shared)
+            continue;
+        const std::string key = workload::synonymAppName(spec);
+        if (segments.count(key) == 0) {
+            segments.emplace(
+                key,
+                std::make_unique<os::SharedSegment>(
+                    buddy, workload::synonymMappingBytes(spec),
+                    spec.hugePages));
+        }
+    }
+
     std::vector<CoreInstance> insts;
     insts.reserve(cores);
     for (std::uint32_t c = 0; c < cores; ++c) {
+        const os::SharedSegment *shared = nullptr;
+        if (workload::isSynonymApp(mix[c])) {
+            const auto it = segments.find(workload::synonymAppName(
+                workload::synonymSpec(mix[c])));
+            if (it != segments.end())
+                shared = it->second.get();
+        }
         insts.push_back(buildCore(config, mix[c], buddy, llc,
                                   dram,
-                                  config.seed + 100 * (c + 1)));
+                                  config.seed + 100 * (c + 1),
+                                  shared));
     }
 
     // Interleave cores in slices so LLC/DRAM contention mixes.

@@ -194,6 +194,18 @@ struct RunResult
     /** First golden-model divergence, invariant violation, TLB
      *  mismatch, or writeback-shim failure; empty when clean. */
     std::string checkFailure;
+    /** VIVT strawman bookkeeping over the measured phase (all 0
+     *  unless SIPT_CHECK was on): reverse-map probes a virtually
+     *  tagged L1 would have issued on virtual-tag misses... */
+    std::uint64_t vivtReverseProbes = 0;
+    /** ...the synonym invalidations those probes triggered (same
+     *  physical line cached under another virtual name)... */
+    std::uint64_t vivtInvalidations = 0;
+    /** ...and how many displaced copies were dirty, forcing a
+     *  data forward. SIPT's physical tags make all three zero-cost
+     *  non-events; the counters quantify the avoided machinery and
+     *  never affect digests or failures. */
+    std::uint64_t vivtDirtyForwards = 0;
 };
 
 /**

@@ -2,11 +2,15 @@
  * @file
  * sipt-fuzz: policy-invariance fuzzing driver.
  *
- * Samples seeded (geometry, memory-condition, workload) points,
- * runs each under every feasible indexing policy with the
- * differential golden-model checker enabled, and requires all
- * policies to produce byte-identical functional event digests. A
- * divergence prints a one-line repro:
+ * Samples seeded (geometry, memory-condition, workload, engine)
+ * points — a quarter of them multi-mapping synonym scenarios
+ * (alias count, index-bit skew, huge-page mix over alias / COW /
+ * shared-segment modes) — runs each under every feasible indexing
+ * policy with the differential golden-model checker enabled, and
+ * requires all policies to produce byte-identical functional
+ * event digests. Synonym samples additionally require the VIVT
+ * strawman to have counted reverse-map invalidations (the
+ * bookkeeping SIPT avoids). A divergence prints a one-line repro:
  *
  *   SIPT-FUZZ-REPRO seed=<N> index=<M> config={...}
  *
