@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/system.hh"
@@ -307,13 +308,11 @@ run(int argc, char **argv)
     int reps = 3;
     std::string out_path;
     std::string check_path;
-    double tolerance = 0.20;
-    if (const char *env = std::getenv("SIPT_BENCH_TOLERANCE"))
-        tolerance = std::strtod(env, nullptr);
+    double tolerance =
+        envDouble("SIPT_BENCH_TOLERANCE", 0.20, 0.0, 100.0);
     // SIPT_REFS shrinks the run for smoke tests, exactly as it
     // does for the figure benches.
-    if (const char *env = std::getenv("SIPT_REFS"))
-        refs = std::strtoull(env, nullptr, 10);
+    refs = envU64("SIPT_REFS", refs, 1, std::uint64_t{1} << 40);
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];

@@ -7,7 +7,8 @@
  *
  * Usage:
  *   sipt_explorer [--app NAME] [--l1 base|16k4|32k2|32k4|64k4|128k4]
- *                 [--policy vipt|ideal|naive|bypass|combined]
+ *                 [--policy vipt|ideal|naive|bypass|combined|
+ *                           vespa|revelator|pcax]
  *                 [--inorder] [--waypred] [--radix-walker]
  *                 [--condition normal|frag|thpoff|nocontig]
  *                 [--refs N] [--seed N] [--csv]
@@ -72,6 +73,12 @@ parsePolicy(const std::string &s)
         return IndexingPolicy::SiptBypass;
     if (s == "combined")
         return IndexingPolicy::SiptCombined;
+    if (s == "vespa")
+        return IndexingPolicy::SiptVespa;
+    if (s == "revelator")
+        return IndexingPolicy::SiptRevelator;
+    if (s == "pcax")
+        return IndexingPolicy::SiptPcax;
     usage();
 }
 
@@ -168,6 +175,11 @@ main(int argc, char **argv)
     row("extra array accesses",
         static_cast<double>(r.l1.extraArrayAccesses));
     row("huge-page coverage", r.hugeCoverage);
+    row("huge accesses", static_cast<double>(r.l1.hugeAccesses),
+        0);
+    row("huge replays", static_cast<double>(r.l1.hugeReplays), 0);
+    row("huge bypass losses",
+        static_cast<double>(r.l1.hugeBypassLosses), 0);
     row("D-TLB hit rate", r.dtlbHitRate, 4);
     row("page walks", static_cast<double>(r.pageWalks), 0);
     row("energy (uJ)", r.energy.total() / 1000.0, 1);

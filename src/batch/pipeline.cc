@@ -202,10 +202,12 @@ void
 BatchPipeline::predictBatch(cpu::RefBatch &batch)
 {
     // Predict stage: sole owner of the predictor tables (IDB,
-    // perceptron, counters). They advance once per reference, in
-    // order, exactly as the scalar loop trains them.
+    // perceptron, translation tables, counters). They advance once
+    // per reference, in order, exactly as the scalar loop trains
+    // them. The huge-page lane feeds the superpage-aware policies.
     l1_.decideBatch(batch.size, batch.pc.data(),
                     batch.vaddr.data(), batch.paddr.data(),
+                    batch.hugePage.data(),
                     batch.decision.data());
 }
 

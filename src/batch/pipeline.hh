@@ -12,7 +12,8 @@
  *
  *  - generate: workload RNG / cursors  (TraceSource::nextBatch)
  *  - translate: TLB hierarchy          (Mmu::translateEntry)
- *  - predict:  bypass/combined tables  (SiptL1Cache::decideBatch)
+ *  - predict:  bypass/combined/xlat tables
+ *              (SiptL1Cache::decideBatch)
  *  - account:  L1 array + hierarchy + core timing
  *              (dispatchRef / accessDecided / completeRef)
  *

@@ -292,6 +292,18 @@ DifferentialChecker::onAccess(const Observation &obs,
         return fail(msg("access #", event.index, ": ", diff));
     }
 
+    // Per-access decision legality: on a huge page the speculative
+    // index bits sit below the 2 MiB offset, so some decisions are
+    // contradictions (see checkHugePageDecision).
+    if (obs.hugePage) {
+        const std::string huge =
+            checkHugePageDecision(stats.policy, obs.spec);
+        if (!huge.empty()) {
+            return fail(
+                msg("access #", event.index, ": ", huge));
+        }
+    }
+
     std::string closure = checkStatsClosure(stats);
     if (closure.empty())
         closure = checkEnergyClosure(stats);

@@ -5,8 +5,8 @@
  *
  * SIPT's central correctness argument is that speculation only
  * affects *timing*: lines always live under their physical set and
- * full physical tags are compared on every lookup, so all five
- * indexing policies must produce the identical functional stream of
+ * full physical tags are compared on every lookup, so every
+ * indexing policy must produce the identical functional stream of
  * hits, misses, dirty transitions, and writebacks. GoldenL1 is the
  * obviously-correct version of that functional behaviour — a
  * physically indexed map of sets to MRU-ordered line lists, with no
@@ -18,7 +18,7 @@
  * FNV-1a digest. Because the digest covers only functional facts
  * (never latency or energy), two runs of the same workload under
  * different indexing policies must produce byte-identical digests;
- * the fuzzer compares them across all five policies per sample.
+ * the fuzzer compares them across all policies per sample.
  *
  * This layer sits *below* the cache library (it depends only on
  * common/) so the hierarchy and L1 controller can embed checkers
@@ -70,6 +70,12 @@ struct Observation
     Addr vaddr = 0;
     Addr paddr = 0;
     MemOp op = MemOp::Load;
+    /** True when the translation came from a 2 MiB page; arms the
+     *  huge-page decision-legality check. */
+    bool hugePage = false;
+    /** The policy's speculation decision for this access (timing
+     *  only — never part of the functional digest). */
+    SpecClass spec = SpecClass::Direct;
     bool hit = false;
     /** Dirty bit of the accessed line after the access completed
      *  (hit way or freshly inserted line). */

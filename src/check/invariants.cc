@@ -18,6 +18,32 @@ policyClassName(PolicyClass cls)
         return "bypass";
       case PolicyClass::Combined:
         return "combined";
+      case PolicyClass::Vespa:
+        return "vespa";
+      case PolicyClass::Revelator:
+        return "revelator";
+      case PolicyClass::Pcax:
+        return "pcax";
+    }
+    return "?";
+}
+
+const char *
+specClassName(SpecClass spec)
+{
+    switch (spec) {
+      case SpecClass::Direct:
+        return "Direct";
+      case SpecClass::Speculate:
+        return "Speculate";
+      case SpecClass::DeltaHit:
+        return "DeltaHit";
+      case SpecClass::Replay:
+        return "Replay";
+      case SpecClass::BypassCorrect:
+        return "BypassCorrect";
+      case SpecClass::BypassLoss:
+        return "BypassLoss";
     }
     return "?";
 }
@@ -61,6 +87,24 @@ checkStatsClosure(const StatsView &s)
         return identity("spec.extraAccess != extraArrayAccesses",
                         s.extraAccess, s.extraArrayAccesses);
     }
+    if (s.hugeAccesses > s.accesses) {
+        return identity("hugeAccesses > accesses", s.hugeAccesses,
+                        s.accesses);
+    }
+    if (s.hugeReplays > s.hugeAccesses ||
+        s.hugeBypassLosses > s.hugeAccesses) {
+        return identity("huge outcome counters > hugeAccesses",
+                        s.hugeReplays + s.hugeBypassLosses,
+                        s.hugeAccesses);
+    }
+    if (s.hugeReplays > s.extraAccess) {
+        return identity("hugeReplays > spec.extraAccess",
+                        s.hugeReplays, s.extraAccess);
+    }
+    if (s.hugeBypassLosses > s.opportunityLoss) {
+        return identity("hugeBypassLosses > spec.opportunityLoss",
+                        s.hugeBypassLosses, s.opportunityLoss);
+    }
 
     // Per-policy partition of the speculation taxonomy: every
     // access lands in exactly one bucket of the buckets the policy
@@ -81,6 +125,10 @@ checkStatsClosure(const StatsView &s)
         }
         if (s.correctBypass || s.opportunityLoss || s.idbHit)
             return "naive policy cannot bypass or hit the IDB";
+        if (s.hugeReplays) {
+            return "naive policy replayed a huge-page access "
+                   "whose index bits are provably unchanged";
+        }
         break;
       case PolicyClass::Bypass:
         if (s.correctSpeculation + s.extraAccess + s.correctBypass +
@@ -94,19 +142,42 @@ checkStatsClosure(const StatsView &s)
         }
         if (s.idbHit)
             return "bypass policy cannot hit the IDB";
+        if (s.hugeReplays) {
+            return "bypass policy replayed a huge-page access "
+                   "whose index bits are provably unchanged";
+        }
         break;
       case PolicyClass::Combined:
+      case PolicyClass::Vespa:
+      case PolicyClass::Revelator:
+      case PolicyClass::Pcax:
+        // The value-predicting policies share one partition: every
+        // access speculated (with VA bits or a predicted value) and
+        // either matched or replayed; none ever bypasses outright.
         if (s.correctSpeculation + s.idbHit + s.extraAccess !=
             s.accesses) {
             return identity(
-                "combined: correctSpec+idb+extra != accesses",
+                "predicting: correctSpec+idb+extra != accesses",
                 s.correctSpeculation + s.idbHit + s.extraAccess,
                 s.accesses);
         }
         if (s.correctBypass || s.opportunityLoss)
-            return "combined policy never bypasses outright";
+            return "predicting policies never bypass outright";
+        // Vespa's superpage gate makes every huge access a plain
+        // VA-bits speculation: no stage-2 prediction may run, so
+        // a huge replay (or delta hit) is structurally impossible.
+        if (s.policy == PolicyClass::Vespa && s.hugeReplays) {
+            return "vespa gate failed: huge-page access replayed "
+                   "despite unconditional speculation";
+        }
         break;
     }
+    // No policy in this taxonomy loses a huge-page fast access to
+    // a bypass: Bypass is the only class that bypasses at all, and
+    // for it a huge BypassLoss is precisely the predictor waste
+    // this counter exists to expose — bounded but legal.
+    if (s.policy != PolicyClass::Bypass && s.hugeBypassLosses)
+        return "non-bypass policy recorded a huge bypass loss";
     return {};
 }
 
@@ -145,6 +216,59 @@ checkEnergyClosure(const StatsView &s)
         return os.str();
     }
     return {};
+}
+
+std::string
+checkHugePageDecision(PolicyClass policy, SpecClass spec)
+{
+    std::string illegal;
+    switch (spec) {
+      case SpecClass::Direct:
+        if (policy != PolicyClass::Direct)
+            illegal = "speculating policy produced Direct";
+        break;
+      case SpecClass::Speculate:
+        if (policy == PolicyClass::Direct)
+            illegal = "direct policy speculated";
+        break;
+      case SpecClass::DeltaHit:
+        // Only a stage-2 value prediction can produce DeltaHit,
+        // and Vespa's gate must have pre-empted stage 2.
+        if (policy != PolicyClass::Combined &&
+            policy != PolicyClass::Revelator &&
+            policy != PolicyClass::Pcax) {
+            illegal = "DeltaHit without a stage-2 predictor (or "
+                      "past the vespa gate)";
+        }
+        break;
+      case SpecClass::Replay:
+        // The VA index bits sit below the huge-page offset, so a
+        // VA-bits speculation can never be wrong; only a *value*
+        // predictor can manufacture a wrong index here.
+        if (policy != PolicyClass::Combined &&
+            policy != PolicyClass::Revelator &&
+            policy != PolicyClass::Pcax) {
+            illegal = "replay of provably-unchanged index bits";
+        }
+        break;
+      case SpecClass::BypassCorrect:
+        // "The bits would have changed" contradicts the huge-page
+        // offset argument under every policy.
+        illegal = "bypass declared correct, but the bits cannot "
+                  "have changed";
+        break;
+      case SpecClass::BypassLoss:
+        if (policy != PolicyClass::Bypass)
+            illegal = "non-bypass policy bypassed";
+        break;
+    }
+    if (illegal.empty())
+        return {};
+    std::ostringstream os;
+    os << "huge-page decision " << specClassName(spec)
+       << " illegal under " << policyClassName(policy) << " ("
+       << illegal << ")";
+    return os.str();
 }
 
 } // namespace sipt::check

@@ -34,10 +34,35 @@ enum class PolicyClass : std::uint8_t
     Naive,
     Bypass,
     Combined,
+    /** Combined plus the superpage gate (VESPA). */
+    Vespa,
+    /** Hashed translation-value predictor (Revelator). */
+    Revelator,
+    /** PC-indexed translation-value predictor (PCAX). */
+    Pcax,
 };
 
 /** Printable class name. */
 const char *policyClassName(PolicyClass cls);
+
+/**
+ * Mirror of the L1's SpecDecision taxonomy, redeclared here so the
+ * check layer can reason about per-access decisions while staying
+ * below the L1 controller in the library graph. The controller
+ * maps each decision explicitly (never by enum-value punning).
+ */
+enum class SpecClass : std::uint8_t
+{
+    Direct,
+    Speculate,
+    DeltaHit,
+    Replay,
+    BypassCorrect,
+    BypassLoss,
+};
+
+/** Printable decision name. */
+const char *specClassName(SpecClass spec);
 
 /**
  * Snapshot of every counter the invariants relate. Decoupled from
@@ -66,6 +91,12 @@ struct StatsView
     /** Way-prediction hits charged at 1/assoc (0 when way
      *  prediction is disabled). */
     std::uint64_t wayPredCorrect = 0;
+    /** Accesses whose translation was a huge (2 MiB) page. */
+    std::uint64_t hugeAccesses = 0;
+    /** Replays among the huge-page accesses. */
+    std::uint64_t hugeReplays = 0;
+    /** Opportunity losses among the huge-page accesses. */
+    std::uint64_t hugeBypassLosses = 0;
 };
 
 /**
@@ -88,6 +119,29 @@ std::string checkStatsClosure(const StatsView &stats);
  * @return empty string when conserved, else a description
  */
 std::string checkEnergyClosure(const StatsView &stats);
+
+/**
+ * Check one huge-page access's speculation decision for legality.
+ * On a 2 MiB page the <= 3 speculative index bits sit entirely
+ * below the 21-bit huge-page offset, so translation provably
+ * preserves them: speculating with the VA bits can never need a
+ * replay, and a bypass can never be "correct". Consequently, on a
+ * huge-page reference:
+ *
+ *  - BypassCorrect is a contradiction under every policy;
+ *  - Replay is illegal for the VA-bits speculators (Naive, Bypass,
+ *    Vespa) but legal for the value predictors (Combined,
+ *    Revelator, Pcax), whose stage-2 may predict *changed* bits
+ *    and be wrong — exactly the waste the VESPA gate removes;
+ *  - Vespa's gate must fire: anything but Speculate is a bug.
+ *
+ * Only call for huge-page references; small pages carry no such
+ * guarantee.
+ *
+ * @return empty string when legal, else a description
+ */
+std::string checkHugePageDecision(PolicyClass policy,
+                                  SpecClass spec);
 
 } // namespace sipt::check
 

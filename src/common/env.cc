@@ -1,0 +1,78 @@
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sipt
+{
+
+namespace
+{
+
+/** Shared reject-and-fall-back reporting. */
+template <typename T>
+T
+rejected(const char *name, const char *value, const char *why,
+         T fallback)
+{
+    warn("ignoring ", name, "='", value, "' (", why,
+         "); using default ", fallback);
+    return fallback;
+}
+
+} // namespace
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback, std::uint64_t min,
+       std::uint64_t max)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    if (*value == '\0')
+        return rejected(name, value, "empty value", fallback);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (errno == ERANGE)
+        return rejected(name, value, "out of range", fallback);
+    if (end == value || *end != '\0') {
+        return rejected(name, value, "not a whole number",
+                        fallback);
+    }
+    // strtoull happily wraps "-1" to ULLONG_MAX; reject any
+    // explicit sign so a negative never masquerades as huge.
+    if (*value == '-' || *value == '+')
+        return rejected(name, value, "signed value", fallback);
+    if (v < min || v > max)
+        return rejected(name, value, "out of accepted range",
+                        fallback);
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+envDouble(const char *name, double fallback, double min,
+          double max)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    if (*value == '\0')
+        return rejected(name, value, "empty value", fallback);
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(value, &end);
+    if (errno == ERANGE)
+        return rejected(name, value, "out of range", fallback);
+    if (end == value || *end != '\0')
+        return rejected(name, value, "not a number", fallback);
+    if (!(v >= min && v <= max)) {
+        return rejected(name, value, "out of accepted range",
+                        fallback);
+    }
+    return v;
+}
+
+} // namespace sipt

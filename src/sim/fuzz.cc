@@ -37,6 +37,7 @@ sampleConfigJson(const FuzzSample &sample)
     j.set("l1SizeBytes", c.l1SizeBytes);
     j.set("l1Assoc", std::uint64_t{c.l1Assoc});
     j.set("l1HitLatency", c.l1HitLatency);
+    j.set("xlatPredEntries", std::uint64_t{c.xlatPredEntries});
     j.set("wayPrediction", c.wayPrediction);
     j.set("radixWalker", c.radixWalker);
     j.set("condition",
@@ -183,6 +184,13 @@ sampleAt(std::uint64_t master_seed, std::uint64_t index)
     c.outOfOrder = rng.chance(0.5);
     c.wayPrediction = rng.chance(0.5);
     c.radixWalker = rng.chance(0.25);
+    // Half the samples shrink the translation-value predictor
+    // tables (Revelator/Pcax) so aliasing paths get exercised;
+    // the other half keep the L1Params defaults (0 = preset).
+    if (rng.chance(0.5)) {
+        c.xlatPredEntries = std::uint32_t{16}
+                            << rng.below(4);
+    }
     // Alternate access-pipeline engines across samples: every
     // campaign then checks the batched engine's digests against
     // scalar-engine digests through the same policy-invariance
@@ -242,6 +250,9 @@ policiesFor(const sim::SystemConfig &config)
     policies.push_back(IndexingPolicy::SiptNaive);
     policies.push_back(IndexingPolicy::SiptBypass);
     policies.push_back(IndexingPolicy::SiptCombined);
+    policies.push_back(IndexingPolicy::SiptVespa);
+    policies.push_back(IndexingPolicy::SiptRevelator);
+    policies.push_back(IndexingPolicy::SiptPcax);
     return policies;
 }
 

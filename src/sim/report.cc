@@ -85,6 +85,12 @@ fillRunMetrics(MetricsRegistry &metrics,
     metrics.setCounter(p("spec.extraAccess"),
                        result.l1.spec.extraAccess);
     metrics.setCounter(p("spec.idbHit"), result.l1.spec.idbHit);
+    metrics.setCounter(p("l1.hugeAccesses"),
+                       result.l1.hugeAccesses);
+    metrics.setCounter(p("l1.hugeReplays"),
+                       result.l1.hugeReplays);
+    metrics.setCounter(p("l1.hugeBypassLosses"),
+                       result.l1.hugeBypassLosses);
     metrics.setValue(p("l1HitRate"), result.l1HitRate);
     metrics.setValue(p("fastFraction"), result.fastFraction);
     metrics.setValue(p("l1Mpki"), result.l1Mpki);

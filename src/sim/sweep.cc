@@ -13,6 +13,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -55,8 +56,10 @@ traceWorkerLane()
 /** Bump when the serialised key/result layout changes; stale
  *  cache files then simply miss instead of mis-parsing.
  *  v3: trace-app content hashes joined the key.
- *  v4: VIVT strawman counters joined RunResult. */
-constexpr std::uint64_t cacheFormatVersion = 4;
+ *  v4: VIVT strawman counters joined RunResult.
+ *  v5: xlatPredEntries joined the key; huge-page outcome counters
+ *      joined RunResult's L1Stats. */
+constexpr std::uint64_t cacheFormatVersion = 5;
 
 /**
  * Content hash of the trace file behind a "trace:<path>" app,
@@ -75,13 +78,13 @@ traceHashFor(const std::string &app)
 unsigned
 threadsFromEnv()
 {
-    if (const char *env = std::getenv("SIPT_THREADS")) {
-        const unsigned long v = std::strtoul(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    const unsigned fallback = hw ? hw : 1;
+    // Strict parse: "8x" used to silently run with 8 threads and
+    // "-1" with ULONG_MAX's truncation; both now warn and fall
+    // back to the hardware default.
+    return static_cast<unsigned>(
+        envU64("SIPT_THREADS", fallback, 1, 4096));
 }
 
 std::string
@@ -104,6 +107,7 @@ configToJson(const SystemConfig &c)
     j.set("l1HitLatency", c.l1HitLatency);
     j.set("policy",
           std::uint64_t{static_cast<std::uint8_t>(c.policy)});
+    j.set("xlatPredEntries", std::uint64_t{c.xlatPredEntries});
     j.set("wayPrediction", c.wayPrediction);
     j.set("radixWalker", c.radixWalker);
     j.set("condition",
@@ -158,6 +162,9 @@ l1StatsToJson(const L1Stats &s)
     j.set("extraArrayAccesses", s.extraArrayAccesses);
     j.set("arrayAccesses", s.arrayAccesses);
     j.set("weightedArrayAccesses", s.weightedArrayAccesses);
+    j.set("hugeAccesses", s.hugeAccesses);
+    j.set("hugeReplays", s.hugeReplays);
+    j.set("hugeBypassLosses", s.hugeBypassLosses);
     j.set("correctSpeculation", s.spec.correctSpeculation);
     j.set("correctBypass", s.spec.correctBypass);
     j.set("opportunityLoss", s.spec.opportunityLoss);
@@ -182,6 +189,9 @@ l1StatsFromJson(const Json &j)
     s.arrayAccesses = j.get("arrayAccesses").asUint();
     s.weightedArrayAccesses =
         j.get("weightedArrayAccesses").asDouble();
+    s.hugeAccesses = j.get("hugeAccesses").asUint();
+    s.hugeReplays = j.get("hugeReplays").asUint();
+    s.hugeBypassLosses = j.get("hugeBypassLosses").asUint();
     s.spec.correctSpeculation =
         j.get("correctSpeculation").asUint();
     s.spec.correctBypass = j.get("correctBypass").asUint();

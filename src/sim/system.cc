@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "batch/pipeline.hh"
+#include "common/env.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "dram/dram.hh"
@@ -231,6 +232,10 @@ buildCore(const SystemConfig &config, const std::string &app,
         l1_params.geometry.assoc = config.l1Assoc;
     if (config.l1HitLatency != 0)
         l1_params.hitLatency = config.l1HitLatency;
+    if (config.xlatPredEntries != 0) {
+        l1_params.hashedXlat.entries = config.xlatPredEntries;
+        l1_params.pcXlat.entries = config.xlatPredEntries;
+    }
     if (config.check)
         l1_params.check.enabled = true;
     inst.l1 = std::make_unique<SiptL1Cache>(l1_params,
@@ -428,23 +433,17 @@ recordTrace(const std::string &app, const SystemConfig &config,
 std::uint64_t
 defaultMeasureRefs()
 {
-    if (const char *env = std::getenv("SIPT_REFS")) {
-        const std::uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 400'000;
+    // Strict parse: "2000x" or a negative must not silently run a
+    // different experiment than the user asked for.
+    return envU64("SIPT_REFS", 400'000, 1,
+                  std::uint64_t{1} << 40);
 }
 
 std::uint64_t
 defaultWarmupRefs()
 {
-    if (const char *env = std::getenv("SIPT_WARMUP")) {
-        const std::uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 150'000;
+    return envU64("SIPT_WARMUP", 150'000, 1,
+                  std::uint64_t{1} << 40);
 }
 
 std::size_t
@@ -457,6 +456,7 @@ hashValue(const SystemConfig &config)
     hashCombine(h, config.l1Assoc);
     hashCombine(h, config.l1HitLatency);
     hashCombine(h, static_cast<std::uint8_t>(config.policy));
+    hashCombine(h, config.xlatPredEntries);
     hashCombine(h, config.wayPrediction);
     hashCombine(h, config.radixWalker);
     hashCombine(h, static_cast<std::uint8_t>(config.condition));

@@ -94,6 +94,11 @@ struct SystemConfig
     /** Override the preset's L1 hit latency (0 = keep). */
     Cycles l1HitLatency = 0;
     IndexingPolicy policy = IndexingPolicy::Vipt;
+    /** Override the translation-value predictor table entries of
+     *  the Revelator / Pcax policies (0 = keep the L1Params
+     *  defaults). Power of two; used by the fuzzer and the
+     *  sensitivity sweeps. */
+    std::uint32_t xlatPredEntries = 0;
     bool wayPrediction = false;
     /**
      * Model page walks as dependent PTE reads through the cache
@@ -147,6 +152,7 @@ struct SystemConfig
                l1Assoc == other.l1Assoc &&
                l1HitLatency == other.l1HitLatency &&
                policy == other.policy &&
+               xlatPredEntries == other.xlatPredEntries &&
                wayPrediction == other.wayPrediction &&
                radixWalker == other.radixWalker &&
                condition == other.condition &&

@@ -22,6 +22,12 @@ policyName(IndexingPolicy policy)
         return "SIPT-bypass";
       case IndexingPolicy::SiptCombined:
         return "SIPT-combined";
+      case IndexingPolicy::SiptVespa:
+        return "SIPT-vespa";
+      case IndexingPolicy::SiptRevelator:
+        return "SIPT-revelator";
+      case IndexingPolicy::SiptPcax:
+        return "SIPT-pcax";
     }
     return "?";
 }
@@ -31,9 +37,39 @@ namespace
 
 /** Relative dynamic energy of the predictor tables per access:
  *  the paper bounds the combined predictor at < 2% of an L1 access
- *  (perceptron read = 0.34%, similar for training, IDB smaller). */
+ *  (perceptron read = 0.34%, similar for training, IDB smaller).
+ *  The translation-value tables are costed the same way: the
+ *  hashed Revelator table is a single tagged read (slightly under
+ *  the two-stage combined predictor), the PCAX table adds a full
+ *  frame-delta read to the perceptron. Vespa charges the combined
+ *  fraction only on accesses that actually consult the predictor
+ *  (the superpage gate pre-empts it on huge pages). */
 constexpr double bypassPredictorEnergyFraction = 0.007;
 constexpr double combinedPredictorEnergyFraction = 0.012;
+constexpr double revelatorPredictorEnergyFraction = 0.010;
+constexpr double pcaxPredictorEnergyFraction = 0.013;
+
+/** Explicit SpecDecision -> check::SpecClass map (no enum-value
+ *  punning between the layers). */
+check::SpecClass
+specClassOf(SpecDecision decision)
+{
+    switch (decision) {
+      case SpecDecision::Direct:
+        return check::SpecClass::Direct;
+      case SpecDecision::Speculate:
+        return check::SpecClass::Speculate;
+      case SpecDecision::DeltaHit:
+        return check::SpecClass::DeltaHit;
+      case SpecDecision::Replay:
+        return check::SpecClass::Replay;
+      case SpecDecision::BypassCorrect:
+        return check::SpecClass::BypassCorrect;
+      case SpecDecision::BypassLoss:
+        return check::SpecClass::BypassLoss;
+    }
+    return check::SpecClass::Direct;
+}
 
 } // namespace
 
@@ -54,16 +90,29 @@ SiptL1Cache::SiptL1Cache(const L1Params &params,
             std::make_unique<cache::WayPredictor>(array_);
     }
     if (specBits_ > 0 &&
-        params.policy == IndexingPolicy::SiptBypass) {
+        (params.policy == IndexingPolicy::SiptBypass ||
+         params.policy == IndexingPolicy::SiptPcax)) {
         bypass_ =
             std::make_unique<predictor::PerceptronBypassPredictor>(
                 params.perceptron);
     }
     if (specBits_ > 0 &&
-        params.policy == IndexingPolicy::SiptCombined) {
+        (params.policy == IndexingPolicy::SiptCombined ||
+         params.policy == IndexingPolicy::SiptVespa)) {
         combined_ =
             std::make_unique<predictor::CombinedIndexPredictor>(
                 specBits_, params.perceptron, params.idb);
+    }
+    if (specBits_ > 0 &&
+        params.policy == IndexingPolicy::SiptRevelator) {
+        revelator_ =
+            std::make_unique<predictor::HashedXlatPredictor>(
+                params.hashedXlat);
+    }
+    if (specBits_ > 0 &&
+        params.policy == IndexingPolicy::SiptPcax) {
+        pcax_ = std::make_unique<predictor::PcXlatPredictor>(
+            params.pcXlat);
     }
     if (params.check.enabled) {
         checker_ = std::make_unique<check::DifferentialChecker>(
@@ -115,60 +164,135 @@ L1AccessResult
 SiptL1Cache::access(const MemRef &ref, const vm::MmuResult &xlat,
                     Cycles now)
 {
-    return accessDecided(ref, xlat, now,
-                         decide(ref, xlat.paddr));
+    return accessDecided(ref, xlat, now, decide(ref, xlat));
+}
+
+template <IndexingPolicy Policy>
+SpecDecision
+SiptL1Cache::decideOne(Addr pc, Addr vaddr, Addr paddr,
+                       bool huge_page)
+{
+    const Vpn vpn = pageNumber(vaddr);
+    const Pfn pfn = pageNumber(paddr);
+    const auto va_bits =
+        static_cast<std::uint32_t>(vpn & specMask_);
+    const auto pa_bits =
+        static_cast<std::uint32_t>(pfn & specMask_);
+    const bool unchanged = va_bits == pa_bits;
+
+    if constexpr (Policy == IndexingPolicy::SiptNaive) {
+        return unchanged ? SpecDecision::Speculate
+                         : SpecDecision::Replay;
+    } else if constexpr (Policy == IndexingPolicy::SiptBypass) {
+        const bool speculate = bypass_->resolve(pc, unchanged);
+        return speculate ? (unchanged ? SpecDecision::Speculate
+                                      : SpecDecision::Replay)
+                         : (unchanged
+                                ? SpecDecision::BypassLoss
+                                : SpecDecision::BypassCorrect);
+    } else if constexpr (Policy == IndexingPolicy::SiptCombined ||
+                         Policy == IndexingPolicy::SiptVespa) {
+        if constexpr (Policy == IndexingPolicy::SiptVespa) {
+            // Superpage gate: the speculative index bits sit below
+            // the 2 MiB offset, so translation preserves them.
+            // Speculate unconditionally and leave the predictors
+            // untouched — no capacity burnt on the tautology.
+            if (huge_page)
+                return SpecDecision::Speculate;
+        }
+        const auto pred = combined_->resolve(pc, vpn, pfn);
+        return pred.bits == pa_bits
+                   ? (pred.source ==
+                              predictor::IndexSource::VaBits
+                          ? SpecDecision::Speculate
+                          : SpecDecision::DeltaHit)
+                   : SpecDecision::Replay;
+    } else if constexpr (Policy ==
+                         IndexingPolicy::SiptRevelator) {
+        const Pfn pred_pfn = revelator_->resolve(vpn, pfn);
+        const auto pred_bits =
+            static_cast<std::uint32_t>(pred_pfn & specMask_);
+        return pred_bits == pa_bits
+                   ? (pred_bits == va_bits
+                          ? SpecDecision::Speculate
+                          : SpecDecision::DeltaHit)
+                   : SpecDecision::Replay;
+    } else {
+        static_assert(Policy == IndexingPolicy::SiptPcax);
+        // Same two-stage shape as Combined: the perceptron decides
+        // between the VA bits and the stage-2 value, which here is
+        // the PC-indexed full-frame prediction.
+        const int y = bypass_->outputFor(pc);
+        bypass_->notePrediction();
+        std::uint32_t pred_bits = va_bits;
+        bool from_va = true;
+        if (y < 0) {
+            pred_bits = static_cast<std::uint32_t>(
+                pcax_->predictPfn(pc, vpn) & specMask_);
+            from_va = false;
+        }
+        bypass_->trainWithOutput(pc, unchanged, y);
+        pcax_->update(pc, vpn, pfn);
+        return pred_bits == pa_bits
+                   ? (from_va ? SpecDecision::Speculate
+                              : SpecDecision::DeltaHit)
+                   : SpecDecision::Replay;
+    }
 }
 
 SpecDecision
-SiptL1Cache::decide(const MemRef &ref, Addr paddr)
+SiptL1Cache::decide(const MemRef &ref, const vm::MmuResult &xlat)
 {
     if (specBits_ == 0)
         return SpecDecision::Direct;
-
-    const auto va_bits = static_cast<std::uint32_t>(
-        pageNumber(ref.vaddr) & specMask_);
-    const std::uint32_t pa_bits = physSpecBits(paddr);
-    const bool unchanged = va_bits == pa_bits;
-    const Vpn vpn = pageNumber(ref.vaddr);
-    const Pfn pfn = pageNumber(paddr);
 
     switch (params_.policy) {
       case IndexingPolicy::Ideal:
         // Oracle index: always fast.
         return SpecDecision::Direct;
       case IndexingPolicy::SiptNaive:
-        return unchanged ? SpecDecision::Speculate
-                         : SpecDecision::Replay;
-      case IndexingPolicy::SiptBypass: {
-        const bool speculate = bypass_->predictSpeculate(ref.pc);
-        const SpecDecision decision =
-            speculate ? (unchanged ? SpecDecision::Speculate
-                                   : SpecDecision::Replay)
-                      : (unchanged ? SpecDecision::BypassLoss
-                                   : SpecDecision::BypassCorrect);
-        bypass_->train(ref.pc, unchanged);
-        return decision;
-      }
-      case IndexingPolicy::SiptCombined: {
-        const auto pred = combined_->predict(ref.pc, vpn);
-        const SpecDecision decision =
-            pred.bits == pa_bits
-                ? (pred.source == predictor::IndexSource::VaBits
-                       ? SpecDecision::Speculate
-                       : SpecDecision::DeltaHit)
-                : SpecDecision::Replay;
-        combined_->update(ref.pc, vpn, pfn);
-        return decision;
-      }
+        return decideOne<IndexingPolicy::SiptNaive>(
+            ref.pc, ref.vaddr, xlat.paddr, xlat.hugePage);
+      case IndexingPolicy::SiptBypass:
+        return decideOne<IndexingPolicy::SiptBypass>(
+            ref.pc, ref.vaddr, xlat.paddr, xlat.hugePage);
+      case IndexingPolicy::SiptCombined:
+        return decideOne<IndexingPolicy::SiptCombined>(
+            ref.pc, ref.vaddr, xlat.paddr, xlat.hugePage);
+      case IndexingPolicy::SiptVespa:
+        return decideOne<IndexingPolicy::SiptVespa>(
+            ref.pc, ref.vaddr, xlat.paddr, xlat.hugePage);
+      case IndexingPolicy::SiptRevelator:
+        return decideOne<IndexingPolicy::SiptRevelator>(
+            ref.pc, ref.vaddr, xlat.paddr, xlat.hugePage);
+      case IndexingPolicy::SiptPcax:
+        return decideOne<IndexingPolicy::SiptPcax>(
+            ref.pc, ref.vaddr, xlat.paddr, xlat.hugePage);
       case IndexingPolicy::Vipt:
         panic("VIPT with speculative bits");
     }
     return SpecDecision::Direct;
 }
 
+template <IndexingPolicy Policy>
+void
+SiptL1Cache::decideLoop(std::size_t n, const Addr *pcs,
+                        const Addr *vaddrs, const Addr *paddrs,
+                        const std::uint8_t *huge_pages,
+                        std::uint8_t *decisions_out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        decisions_out[i] =
+            static_cast<std::uint8_t>(decideOne<Policy>(
+                pcs[i], vaddrs[i], paddrs[i],
+                huge_pages[i] != 0));
+    }
+}
+
 void
 SiptL1Cache::decideBatch(std::size_t n, const Addr *pcs,
                          const Addr *vaddrs, const Addr *paddrs,
+                         const std::uint8_t *huge_pages,
                          std::uint8_t *decisions_out)
 {
     if (specBits_ == 0 ||
@@ -181,46 +305,28 @@ SiptL1Cache::decideBatch(std::size_t n, const Addr *pcs,
 
     switch (params_.policy) {
       case IndexingPolicy::SiptNaive:
-        for (std::size_t i = 0; i < n; ++i) {
-            const bool unchanged =
-                (pageNumber(vaddrs[i]) & specMask_) ==
-                (pageNumber(paddrs[i]) & specMask_);
-            decisions_out[i] = static_cast<std::uint8_t>(
-                unchanged ? SpecDecision::Speculate
-                          : SpecDecision::Replay);
-        }
+        decideLoop<IndexingPolicy::SiptNaive>(
+            n, pcs, vaddrs, paddrs, huge_pages, decisions_out);
         break;
       case IndexingPolicy::SiptBypass:
-        for (std::size_t i = 0; i < n; ++i) {
-            const bool unchanged =
-                (pageNumber(vaddrs[i]) & specMask_) ==
-                (pageNumber(paddrs[i]) & specMask_);
-            const bool speculate =
-                bypass_->resolve(pcs[i], unchanged);
-            decisions_out[i] = static_cast<std::uint8_t>(
-                speculate
-                    ? (unchanged ? SpecDecision::Speculate
-                                 : SpecDecision::Replay)
-                    : (unchanged ? SpecDecision::BypassLoss
-                                 : SpecDecision::BypassCorrect));
-        }
+        decideLoop<IndexingPolicy::SiptBypass>(
+            n, pcs, vaddrs, paddrs, huge_pages, decisions_out);
         break;
       case IndexingPolicy::SiptCombined:
-        for (std::size_t i = 0; i < n; ++i) {
-            const Vpn vpn = pageNumber(vaddrs[i]);
-            const Pfn pfn = pageNumber(paddrs[i]);
-            const auto pa_bits = static_cast<std::uint32_t>(
-                pfn & specMask_);
-            const auto pred =
-                combined_->resolve(pcs[i], vpn, pfn);
-            decisions_out[i] = static_cast<std::uint8_t>(
-                pred.bits == pa_bits
-                    ? (pred.source ==
-                               predictor::IndexSource::VaBits
-                           ? SpecDecision::Speculate
-                           : SpecDecision::DeltaHit)
-                    : SpecDecision::Replay);
-        }
+        decideLoop<IndexingPolicy::SiptCombined>(
+            n, pcs, vaddrs, paddrs, huge_pages, decisions_out);
+        break;
+      case IndexingPolicy::SiptVespa:
+        decideLoop<IndexingPolicy::SiptVespa>(
+            n, pcs, vaddrs, paddrs, huge_pages, decisions_out);
+        break;
+      case IndexingPolicy::SiptRevelator:
+        decideLoop<IndexingPolicy::SiptRevelator>(
+            n, pcs, vaddrs, paddrs, huge_pages, decisions_out);
+        break;
+      case IndexingPolicy::SiptPcax:
+        decideLoop<IndexingPolicy::SiptPcax>(
+            n, pcs, vaddrs, paddrs, huge_pages, decisions_out);
         break;
       case IndexingPolicy::Vipt:
       case IndexingPolicy::Ideal:
@@ -315,13 +421,21 @@ SiptL1Cache::accessDecidedImpl(const MemRef &ref,
         break;
     }
 
+    if (xlat.hugePage) {
+        ++stats_.hugeAccesses;
+        if (decision == SpecDecision::Replay)
+            ++stats_.hugeReplays;
+        else if (decision == SpecDecision::BypassLoss)
+            ++stats_.hugeBypassLosses;
+    }
+
     if (fast)
         ++stats_.fastAccesses;
     else
         ++stats_.slowAccesses;
 
-    const L1AccessResult res =
-        finishAccess(ref, paddr, now, ready, fast);
+    const L1AccessResult res = finishAccess(
+        ref, paddr, now, ready, fast, xlat.hugePage, decision);
     if constexpr (Traced) {
         trace::AccessEvent event;
         event.policy = policyName(params_.policy);
@@ -340,7 +454,8 @@ SiptL1Cache::accessDecidedImpl(const MemRef &ref,
 
 L1AccessResult
 SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
-                          Cycles ready, bool fast)
+                          Cycles ready, bool fast, bool huge_page,
+                          SpecDecision decision)
 {
     const std::uint32_t set = physSet(paddr);
     const int way = array_.probe(set, paddr);
@@ -353,6 +468,8 @@ SiptL1Cache::finishAccess(const MemRef &ref, Addr paddr, Cycles now,
     obs.vaddr = ref.vaddr;
     obs.paddr = paddr;
     obs.op = ref.op;
+    obs.hugePage = huge_page;
+    obs.spec = specClassOf(decision);
 
     if (way >= 0) {
         ++stats_.hits;
@@ -440,6 +557,18 @@ SiptL1Cache::statsView() const
         view.policy = specBits_ ? check::PolicyClass::Combined
                                 : check::PolicyClass::Direct;
         break;
+      case IndexingPolicy::SiptVespa:
+        view.policy = specBits_ ? check::PolicyClass::Vespa
+                                : check::PolicyClass::Direct;
+        break;
+      case IndexingPolicy::SiptRevelator:
+        view.policy = specBits_ ? check::PolicyClass::Revelator
+                                : check::PolicyClass::Direct;
+        break;
+      case IndexingPolicy::SiptPcax:
+        view.policy = specBits_ ? check::PolicyClass::Pcax
+                                : check::PolicyClass::Direct;
+        break;
     }
     view.assoc = array_.assoc();
     view.accesses = stats_.accesses;
@@ -459,6 +588,9 @@ SiptL1Cache::statsView() const
     view.idbHit = stats_.spec.idbHit;
     view.wayPredCorrect =
         wayPredictor_ ? wayPredictor_->correct() : 0;
+    view.hugeAccesses = stats_.hugeAccesses;
+    view.hugeReplays = stats_.hugeReplays;
+    view.hugeBypassLosses = stats_.hugeBypassLosses;
     return view;
 }
 
@@ -485,15 +617,40 @@ SiptL1Cache::dynamicEnergyNj() const
 {
     double energy =
         stats_.weightedArrayAccesses * params_.accessEnergyNj;
-    if (bypass_) {
-        energy += static_cast<double>(stats_.accesses) *
-                  bypassPredictorEnergyFraction *
-                  params_.accessEnergyNj;
-    } else if (combined_) {
-        energy += static_cast<double>(stats_.accesses) *
-                  combinedPredictorEnergyFraction *
-                  params_.accessEnergyNj;
+    double fraction = 0.0;
+    std::uint64_t charged = stats_.accesses;
+    switch (params_.policy) {
+      case IndexingPolicy::SiptBypass:
+        if (bypass_)
+            fraction = bypassPredictorEnergyFraction;
+        break;
+      case IndexingPolicy::SiptCombined:
+        if (combined_)
+            fraction = combinedPredictorEnergyFraction;
+        break;
+      case IndexingPolicy::SiptVespa:
+        // The superpage gate pre-empts the predictor on huge
+        // pages, so those accesses never read the tables.
+        if (combined_) {
+            fraction = combinedPredictorEnergyFraction;
+            charged = stats_.accesses - stats_.hugeAccesses;
+        }
+        break;
+      case IndexingPolicy::SiptRevelator:
+        if (revelator_)
+            fraction = revelatorPredictorEnergyFraction;
+        break;
+      case IndexingPolicy::SiptPcax:
+        if (pcax_)
+            fraction = pcaxPredictorEnergyFraction;
+        break;
+      case IndexingPolicy::Vipt:
+      case IndexingPolicy::Ideal:
+      case IndexingPolicy::SiptNaive:
+        break;
     }
+    energy += static_cast<double>(charged) * fraction *
+              params_.accessEnergyNj;
     return energy;
 }
 

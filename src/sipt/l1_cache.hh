@@ -3,7 +3,7 @@
  * The SIPT L1 data cache controller — the paper's core
  * contribution.
  *
- * The controller implements five indexing policies over the same
+ * The controller implements eight indexing policies over the same
  * physical tag array:
  *
  *  - Vipt: the baseline. All index bits must come from the page
@@ -20,6 +20,21 @@
  *  - SiptCombined (Sec. VI): when the perceptron predicts a change,
  *    the IDB (or single-bit reversal) predicts the changed value so
  *    the access can still go fast.
+ *  - SiptVespa (related work: VESPA): SiptCombined plus a superpage
+ *    gate — when the translation is a 2 MiB page the speculative
+ *    index bits sit below the huge-page offset and are statically
+ *    correct, so the access speculates unconditionally without
+ *    touching (or training) the predictors.
+ *  - SiptRevelator (related work: Revelator): a hashed, VPN-tagged
+ *    translation table predicts the full physical frame; the index
+ *    bits are taken from the predicted frame and verified against
+ *    the real translation.
+ *  - SiptPcax (related work: PCAX): the Combined stage-2 slot holds
+ *    a PC-indexed full-frame delta predictor instead of the IDB.
+ *
+ * Every policy funnels through one per-reference decision kernel
+ * (decideOne, shared by decide() and decideBatch()) so the scalar
+ * and batched engines cannot drift.
  *
  * Correctness never depends on prediction: lines live under their
  * physical set and full physical line-address tags are compared on
@@ -46,6 +61,7 @@
 #include "common/trace.hh"
 #include "common/types.hh"
 #include "predictor/combined.hh"
+#include "predictor/hashed_xlat.hh"
 #include "predictor/perceptron.hh"
 #include "vm/mmu.hh"
 
@@ -60,6 +76,9 @@ enum class IndexingPolicy : std::uint8_t
     SiptNaive,
     SiptBypass,
     SiptCombined,
+    SiptVespa,
+    SiptRevelator,
+    SiptPcax,
 };
 
 /** Printable name of a policy. */
@@ -82,8 +101,12 @@ struct L1Params
     double staticPowerMw = 46.0;
     /** Stage-1 predictor configuration (Bypass/Combined). */
     predictor::PerceptronParams perceptron{};
-    /** Stage-2 predictor configuration (Combined). */
+    /** Stage-2 predictor configuration (Combined/Vespa). */
     predictor::IdbParams idb{};
+    /** Hashed translation predictor (Revelator). */
+    predictor::HashedXlatParams hashedXlat{};
+    /** PC-indexed translation predictor (Pcax stage 2). */
+    predictor::PcXlatParams pcXlat{};
     /** Differential golden-model checking (SIPT_CHECK=1, or set
      *  programmatically by tests/fuzzers). */
     check::Options check = check::Options::fromEnv();
@@ -128,6 +151,16 @@ struct L1Stats
      * predicted-way access to 1/assoc of a full access.
      */
     double weightedArrayAccesses = 0.0;
+    /** Accesses whose translation was a huge (2 MiB) page. */
+    std::uint64_t hugeAccesses = 0;
+    /** Replays among the huge-page accesses: on huge pages the VA
+     *  index bits are provably unchanged, so every one of these is
+     *  a *value predictor* wasting a guaranteed-fast access — the
+     *  waste the Vespa gate eliminates. */
+    std::uint64_t hugeReplays = 0;
+    /** Opportunity losses among the huge-page accesses (Bypass
+     *  refusing a speculation that could not have failed). */
+    std::uint64_t hugeBypassLosses = 0;
     SpeculationStats spec;
 };
 
@@ -196,21 +229,25 @@ class SiptL1Cache
     /**
      * Speculation decision for one access: queries and trains the
      * policy's predictors (their only mutation point) but touches
-     * no statistics counter. This is the per-reference reference
-     * protocol (predict, then train); the batched engine uses
-     * decideBatch() instead.
+     * no statistics counter. Takes the whole MMU result because
+     * the decision depends on the huge-page bit as well as the PA
+     * (on 2 MiB pages the speculative index bits are statically
+     * correct). One decideOne() kernel serves this and
+     * decideBatch(), so the two engines cannot drift.
      */
-    SpecDecision decide(const MemRef &ref, Addr paddr);
+    SpecDecision decide(const MemRef &ref,
+                        const vm::MmuResult &xlat);
 
     /**
      * Speculation decisions for @p n already-translated accesses
-     * in order, written to @p decisions_out. State-transition
-     * equivalent to calling decide() per access, but the policy
-     * dispatch is hoisted out of the loop and the Bypass/Combined
-     * predictors run their fused single-output resolve path.
+     * in order, written to @p decisions_out. @p huge_pages carries
+     * the per-reference huge-page bit (nonzero = 2 MiB backing).
+     * Runs the same decideOne() kernel as decide(), with the
+     * policy dispatch hoisted out of the loop.
      */
     void decideBatch(std::size_t n, const Addr *pcs,
                      const Addr *vaddrs, const Addr *paddrs,
+                     const std::uint8_t *huge_pages,
                      std::uint8_t *decisions_out);
 
     /**
@@ -310,6 +347,26 @@ class SiptL1Cache
     void resetStats();
 
   private:
+    /**
+     * The per-reference decision kernel: the single place the
+     * speculation outcome of one access is computed, instantiated
+     * per policy. Both decide() (per-call dispatch) and
+     * decideBatch() (dispatch hoisted out of the loop) call it, so
+     * a policy's semantics exist exactly once. Uses the fused
+     * predictor resolve paths, which are state-identical to the
+     * split predict/train protocol.
+     */
+    template <IndexingPolicy Policy>
+    SpecDecision decideOne(Addr pc, Addr vaddr, Addr paddr,
+                           bool huge_page);
+
+    /** decideBatch() body for one policy: decideOne() per item. */
+    template <IndexingPolicy Policy>
+    void decideLoop(std::size_t n, const Addr *pcs,
+                    const Addr *vaddrs, const Addr *paddrs,
+                    const std::uint8_t *huge_pages,
+                    std::uint8_t *decisions_out);
+
     /** Shared body of accessDecided{,Untraced}: the tracer branch
      *  is compiled out of the Traced=false instantiation. */
     template <bool Traced>
@@ -355,10 +412,13 @@ class SiptL1Cache
     /** Snapshot the counters for the invariant checkers. */
     check::StatsView statsView() const;
 
-    /** Handle hit/miss once the correct physical set is known. */
+    /** Handle hit/miss once the correct physical set is known.
+     *  @p huge_page and @p decision feed the checker's per-access
+     *  decision-legality observation only. */
     L1AccessResult finishAccess(const MemRef &ref, Addr paddr,
-                                Cycles now, Cycles ready,
-                                bool fast);
+                                Cycles now, Cycles ready, bool fast,
+                                bool huge_page,
+                                SpecDecision decision);
 
     L1Params params_;
     cache::BelowL1 &below_;
@@ -367,10 +427,15 @@ class SiptL1Cache
     /** mask(specBits_), precomputed for the decide loops. */
     std::uint64_t specMask_;
     std::unique_ptr<cache::WayPredictor> wayPredictor_;
-    /** Stage-1-only predictor for the Bypass policy. */
+    /** Stage-1 perceptron for the Bypass policy, and the stage-1
+     *  slot of the Pcax policy. */
     std::unique_ptr<predictor::PerceptronBypassPredictor> bypass_;
-    /** Two-stage predictor for the Combined policy. */
+    /** Two-stage predictor for the Combined/Vespa policies. */
     std::unique_ptr<predictor::CombinedIndexPredictor> combined_;
+    /** Hashed translation predictor for the Revelator policy. */
+    std::unique_ptr<predictor::HashedXlatPredictor> revelator_;
+    /** PC-indexed translation predictor (Pcax stage 2). */
+    std::unique_ptr<predictor::PcXlatPredictor> pcax_;
     /** Golden-model checker when params.check.enabled. */
     std::unique_ptr<check::DifferentialChecker> checker_;
     L1Stats stats_;
@@ -456,6 +521,14 @@ SiptL1Cache::accessDecidedUntraced(const MemRef &ref,
         ready = serial_ready;
         ++stats_.spec.opportunityLoss;
         break;
+    }
+
+    if (xlat.hugePage) {
+        ++stats_.hugeAccesses;
+        if (decision == SpecDecision::Replay)
+            ++stats_.hugeReplays;
+        else if (decision == SpecDecision::BypassLoss)
+            ++stats_.hugeBypassLosses;
     }
 
     if (fast)

@@ -151,7 +151,10 @@ TEST(BatchEngine, BitIdenticalAcrossPoliciesAndSpecBits)
             policies = {IndexingPolicy::Ideal,
                         IndexingPolicy::SiptNaive,
                         IndexingPolicy::SiptBypass,
-                        IndexingPolicy::SiptCombined};
+                        IndexingPolicy::SiptCombined,
+                        IndexingPolicy::SiptVespa,
+                        IndexingPolicy::SiptRevelator,
+                        IndexingPolicy::SiptPcax};
         }
         for (const IndexingPolicy policy : policies) {
             SystemConfig config = smallConfig();
@@ -197,6 +200,25 @@ TEST(BatchEngine, BitIdenticalUnderMemoryConditions)
         compareEngines("astar", config,
                        std::string("condition=") +
                            conditionName(condition));
+    }
+}
+
+TEST(BatchEngine, BitIdenticalOnHugePageSynonyms)
+{
+    // A 2 MiB-backed shared-synonym stream drives the batch
+    // pipeline's huge-page lane: the VESPA gate fires on every
+    // reference, and the translation predictors see huge frames.
+    for (const IndexingPolicy policy :
+         {IndexingPolicy::SiptCombined, IndexingPolicy::SiptVespa,
+          IndexingPolicy::SiptRevelator,
+          IndexingPolicy::SiptPcax}) {
+        SystemConfig config = smallConfig();
+        config.l1Config = L1Config::Sipt32K2;
+        config.policy = policy;
+        compareEngines("synonym:shared-huge", config,
+                       "huge synonyms policy=" +
+                           std::to_string(
+                               static_cast<int>(policy)));
     }
 }
 

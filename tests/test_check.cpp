@@ -139,6 +139,169 @@ TEST(Invariants, CombinedSpeculationPartition)
     EXPECT_NE(check::checkStatsClosure(v), "");
 }
 
+TEST(Invariants, VespaSpeculationPartitionAndHugeBounds)
+{
+    StatsView v = cleanDirectView();
+    v.policy = PolicyClass::Vespa;
+    v.correctSpeculation = 5;
+    v.idbHit = 3;
+    v.extraAccess = 2;
+    v.extraArrayAccesses = 2;
+    v.arrayAccesses = 12;
+    v.weightedArrayAccesses = 12.0;
+    v.fastAccesses = 8;
+    v.slowAccesses = 2;
+    v.hugeAccesses = 4;
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    // The gate makes a huge replay structurally impossible.
+    v.hugeReplays = 1;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+    v.hugeReplays = 0;
+    // Predicting policies never bypass, so no huge bypass loss.
+    v.hugeBypassLosses = 1;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, RevelatorAndPcaxShareThePredictingPartition)
+{
+    for (const PolicyClass policy :
+         {PolicyClass::Revelator, PolicyClass::Pcax}) {
+        StatsView v = cleanDirectView();
+        v.policy = policy;
+        v.correctSpeculation = 4;
+        v.idbHit = 4;
+        v.extraAccess = 2;
+        v.extraArrayAccesses = 2;
+        v.arrayAccesses = 12;
+        v.weightedArrayAccesses = 12.0;
+        v.fastAccesses = 8;
+        v.slowAccesses = 2;
+        // Unlike Vespa, these may replay on huge pages (a wrong
+        // *value* prediction), bounded by the replay total.
+        v.hugeAccesses = 3;
+        v.hugeReplays = 2;
+        EXPECT_EQ(check::checkStatsClosure(v), "");
+        v.correctBypass = 1;
+        v.correctSpeculation = 3;
+        EXPECT_NE(check::checkStatsClosure(v), "")
+            << "predicting policies never bypass outright";
+    }
+}
+
+TEST(Invariants, HugeCountersAreBounded)
+{
+    StatsView v = cleanDirectView();
+    v.policy = PolicyClass::Naive;
+    v.correctSpeculation = 7;
+    v.extraAccess = 3;
+    v.extraArrayAccesses = 3;
+    v.arrayAccesses = 13;
+    v.weightedArrayAccesses = 13.0;
+    v.fastAccesses = 7;
+    v.slowAccesses = 3;
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    // More huge accesses than accesses.
+    v.hugeAccesses = 11;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+    v.hugeAccesses = 2;
+    // Naive can only replay when the bits changed, which cannot
+    // happen on a huge page.
+    v.hugeReplays = 1;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+    v.hugeReplays = 0;
+    // Outcome counters above the huge-access total.
+    v.hugeBypassLosses = 3;
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, BypassMayLoseHugeAccessesBoundedly)
+{
+    StatsView v = cleanDirectView();
+    v.policy = PolicyClass::Bypass;
+    v.correctSpeculation = 4;
+    v.extraAccess = 2;
+    v.correctBypass = 3;
+    v.opportunityLoss = 1;
+    v.extraArrayAccesses = 2;
+    v.arrayAccesses = 12;
+    v.weightedArrayAccesses = 12.0;
+    v.fastAccesses = 4;
+    v.slowAccesses = 6;
+    v.hugeAccesses = 2;
+    // A huge BypassLoss is legal for Bypass (predictor waste the
+    // counter exists to expose), bounded by opportunityLoss.
+    v.hugeBypassLosses = 1;
+    EXPECT_EQ(check::checkStatsClosure(v), "");
+    v.hugeBypassLosses = 2; // > opportunityLoss
+    EXPECT_NE(check::checkStatsClosure(v), "");
+}
+
+TEST(Invariants, HugePageDecisionLegality)
+{
+    using check::SpecClass;
+    using check::checkHugePageDecision;
+    // BypassCorrect contradicts the superpage offset argument
+    // under every policy.
+    for (const PolicyClass policy :
+         {PolicyClass::Direct, PolicyClass::Naive,
+          PolicyClass::Bypass, PolicyClass::Combined,
+          PolicyClass::Vespa, PolicyClass::Revelator,
+          PolicyClass::Pcax}) {
+        EXPECT_NE(checkHugePageDecision(
+                      policy, SpecClass::BypassCorrect),
+                  "")
+            << policyClassName(policy);
+    }
+    // Replay and DeltaHit need a stage-2 value predictor that
+    // survived the gate: legal only for Combined/Revelator/Pcax.
+    for (const SpecClass spec :
+         {SpecClass::Replay, SpecClass::DeltaHit}) {
+        EXPECT_EQ(checkHugePageDecision(PolicyClass::Combined,
+                                        spec),
+                  "");
+        EXPECT_EQ(checkHugePageDecision(PolicyClass::Revelator,
+                                        spec),
+                  "");
+        EXPECT_EQ(
+            checkHugePageDecision(PolicyClass::Pcax, spec), "");
+        EXPECT_NE(
+            checkHugePageDecision(PolicyClass::Vespa, spec), "")
+            << "vespa stage 2 must be gated off on huge pages";
+        EXPECT_NE(
+            checkHugePageDecision(PolicyClass::Naive, spec), "");
+        EXPECT_NE(checkHugePageDecision(PolicyClass::Bypass,
+                                        spec),
+                  "")
+            << check::specClassName(spec);
+    }
+    // Speculate is the huge-page happy path for every policy that
+    // speculates at all; Direct is only for direct policies.
+    EXPECT_EQ(checkHugePageDecision(PolicyClass::Vespa,
+                                    SpecClass::Speculate),
+              "");
+    EXPECT_NE(checkHugePageDecision(PolicyClass::Direct,
+                                    SpecClass::Speculate),
+              "");
+    EXPECT_EQ(checkHugePageDecision(PolicyClass::Direct,
+                                    SpecClass::Direct),
+              "");
+    EXPECT_NE(checkHugePageDecision(PolicyClass::Vespa,
+                                    SpecClass::Direct),
+              "");
+    // BypassLoss is Bypass-only.
+    EXPECT_EQ(checkHugePageDecision(PolicyClass::Bypass,
+                                    SpecClass::BypassLoss),
+              "");
+    EXPECT_NE(checkHugePageDecision(PolicyClass::Combined,
+                                    SpecClass::BypassLoss),
+              "");
+    // Failures carry the decision and policy names.
+    const std::string msg = checkHugePageDecision(
+        PolicyClass::Vespa, SpecClass::Replay);
+    EXPECT_NE(msg.find("Replay"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("vespa"), std::string::npos) << msg;
+}
+
 TEST(Invariants, WeightedEnergyNeverExceedsRaw)
 {
     StatsView v = cleanDirectView();

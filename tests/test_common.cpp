@@ -4,10 +4,12 @@
  */
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/env.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -198,6 +200,115 @@ TEST(StatGroup, DumpsBoundValues)
     g.dump(os);
     EXPECT_NE(os.str().find("grp.counter 5"), std::string::npos);
     EXPECT_NE(os.str().find("grp.scalar 2.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Strict environment parsing: garbage must warn and fall back,
+// never silently truncate (strtoull("8x") == 8) or wrap
+// (strtoull("-1") == ULLONG_MAX).
+// ---------------------------------------------------------------
+
+/** RAII environment variable for the env parsing tests. The name
+ *  deliberately lacks the SIPT_ prefix so the env-registry pass
+ *  does not demand a registration for a test-only knob. */
+struct ScopedEnv
+{
+    const char *name;
+    ScopedEnv(const char *name, const char *value) : name(name)
+    {
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv() { unsetenv(name); }
+};
+
+TEST(Env, U64UnsetReturnsFallback)
+{
+    unsetenv("ENVTEST_U64");
+    EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+}
+
+TEST(Env, U64ParsesWholeNumbers)
+{
+    const ScopedEnv e("ENVTEST_U64", "17");
+    EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 17u);
+}
+
+TEST(Env, U64RejectsTrailingGarbage)
+{
+    // The historical threadsFromEnv bug: atoi-style parsing read
+    // "8x" as 8. Strict parsing must fall back instead.
+    const ScopedEnv e("ENVTEST_U64", "8x");
+    EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+}
+
+TEST(Env, U64RejectsNegativeAndSigned)
+{
+    {
+        const ScopedEnv e("ENVTEST_U64", "-1");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u)
+            << "-1 must not wrap to ULLONG_MAX";
+    }
+    {
+        const ScopedEnv e("ENVTEST_U64", "+7");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+    }
+}
+
+TEST(Env, U64RejectsEmptyAndNonNumeric)
+{
+    {
+        const ScopedEnv e("ENVTEST_U64", "");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+    }
+    {
+        const ScopedEnv e("ENVTEST_U64", "lots");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+    }
+}
+
+TEST(Env, U64EnforcesAcceptedRange)
+{
+    {
+        const ScopedEnv e("ENVTEST_U64", "0");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+    }
+    {
+        const ScopedEnv e("ENVTEST_U64", "101");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+    }
+    {
+        const ScopedEnv e("ENVTEST_U64",
+                          "99999999999999999999999999");
+        EXPECT_EQ(envU64("ENVTEST_U64", 42, 1, 100), 42u);
+    }
+}
+
+TEST(Env, DoubleParsesAndFallsBack)
+{
+    {
+        const ScopedEnv e("ENVTEST_DBL", "0.35");
+        EXPECT_DOUBLE_EQ(
+            envDouble("ENVTEST_DBL", 0.2, 0.0, 1.0), 0.35);
+    }
+    {
+        const ScopedEnv e("ENVTEST_DBL", "0.35%");
+        EXPECT_DOUBLE_EQ(
+            envDouble("ENVTEST_DBL", 0.2, 0.0, 1.0), 0.2);
+    }
+    {
+        const ScopedEnv e("ENVTEST_DBL", "nan");
+        EXPECT_DOUBLE_EQ(
+            envDouble("ENVTEST_DBL", 0.2, 0.0, 1.0), 0.2)
+            << "NaN fails the range check by comparison";
+    }
+    {
+        const ScopedEnv e("ENVTEST_DBL", "2.5");
+        EXPECT_DOUBLE_EQ(
+            envDouble("ENVTEST_DBL", 0.2, 0.0, 1.0), 0.2);
+    }
+    unsetenv("ENVTEST_DBL");
+    EXPECT_DOUBLE_EQ(envDouble("ENVTEST_DBL", 0.2, 0.0, 1.0),
+                     0.2);
 }
 
 } // namespace

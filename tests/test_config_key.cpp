@@ -68,6 +68,9 @@ TEST(ConfigKey, EveryFieldParticipates)
     expectFieldMatters("policy", [](SystemConfig &c) {
         c.policy = IndexingPolicy::Ideal;
     });
+    expectFieldMatters("xlatPredEntries", [](SystemConfig &c) {
+        c.xlatPredEntries = 64;
+    });
     expectFieldMatters("wayPrediction", [](SystemConfig &c) {
         c.wayPrediction = !c.wayPrediction;
     });

@@ -94,14 +94,14 @@ TEST(Fuzz, ViptRunsOnlyOnFeasibleGeometry)
     vipt_ok.l1SizeBytes = 32 * 1024;
     vipt_ok.l1Assoc = 8; // 4 KiB ways
     const auto with_vipt = policiesFor(vipt_ok);
-    EXPECT_EQ(with_vipt.size(), 5u);
+    EXPECT_EQ(with_vipt.size(), 8u);
     EXPECT_EQ(with_vipt.front(), IndexingPolicy::Vipt);
 
     sim::SystemConfig spec;
     spec.l1SizeBytes = 32 * 1024;
     spec.l1Assoc = 2; // 16 KiB ways: 2 speculative bits
     const auto without_vipt = policiesFor(spec);
-    EXPECT_EQ(without_vipt.size(), 4u);
+    EXPECT_EQ(without_vipt.size(), 7u);
     for (const IndexingPolicy p : without_vipt)
         EXPECT_NE(p, IndexingPolicy::Vipt);
 }
