@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Durable file I/O helpers shared by everything that persists
+ * state: the sweep engine's disk cache and the serve module's
+ * result-store journal.
+ *
+ * The contract all of them build on is write-then-publish: bytes
+ * are written to a private file (or appended to a journal), fsync'd
+ * so they are on the platter, and only then made visible — by an
+ * atomic rename for whole files, or by being covered by the
+ * journal's record checksum for appends. A crash at any point
+ * leaves either the old state or the new state, never a torn file
+ * whose name promises valid content.
+ */
+
+#ifndef SIPT_COMMON_FSIO_HH
+#define SIPT_COMMON_FSIO_HH
+
+#include <string>
+#include <string_view>
+
+namespace sipt::fsio
+{
+
+/** ::write() @p bytes to @p fd in full, retrying short writes and
+ *  EINTR. False on any hard write error. */
+bool writeAll(int fd, std::string_view bytes);
+
+/** fsync a directory so renames/creations inside it are durable.
+ *  False when the directory cannot be opened or synced. */
+bool syncDir(const std::string &dir);
+
+/**
+ * Atomically publish @p bytes at @p path: write them to
+ * `<path><tmp_suffix>`, fsync the file, rename it over @p path,
+ * and fsync the parent directory. Readers of @p path therefore see
+ * the old content or the complete new content — never a prefix —
+ * even across a crash. False (with the temp file removed) on any
+ * failure.
+ */
+bool atomicPublish(const std::string &path,
+                   std::string_view bytes,
+                   const std::string &tmp_suffix);
+
+} // namespace sipt::fsio
+
+#endif // SIPT_COMMON_FSIO_HH

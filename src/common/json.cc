@@ -106,6 +106,14 @@ Json::find(const std::string &key) const
     return nullptr;
 }
 
+const std::pair<std::string, Json> &
+Json::member(std::size_t i) const
+{
+    SIPT_ASSERT(kind_ == Kind::Object && i < obj_.size(),
+                "json: bad member index");
+    return obj_[i];
+}
+
 const Json &
 Json::get(const std::string &key) const
 {

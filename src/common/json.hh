@@ -52,6 +52,16 @@ class Json
     static Json array();
 
     Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isUint() const { return kind_ == Kind::Uint; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    /** Uint or Double (what asDouble() accepts). */
+    bool isNumber() const
+    {
+        return kind_ == Kind::Uint || kind_ == Kind::Double;
+    }
+    bool isString() const { return kind_ == Kind::String; }
     bool isObject() const { return kind_ == Kind::Object; }
     bool isArray() const { return kind_ == Kind::Array; }
 
@@ -75,6 +85,15 @@ class Json
 
     /** Object member lookup; nullptr when absent. */
     const Json *find(const std::string &key) const;
+
+    /**
+     * Object member by insertion index (panics when out of range /
+     * not an object). Together with size() this lets validators —
+     * e.g. the serve protocol's strict request parser — walk an
+     * object's members and reject unknown keys.
+     */
+    const std::pair<std::string, Json> &
+    member(std::size_t i) const;
 
     /** Object member lookup that panics when absent. */
     const Json &get(const std::string &key) const;

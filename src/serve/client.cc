@@ -1,0 +1,80 @@
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sipt::serve
+{
+
+Client::Client(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    SIPT_ASSERT(socket_path.size() < sizeof(addr.sun_path),
+                "serve: socket path too long: ", socket_path);
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    SIPT_ASSERT(fd_ >= 0, "serve: socket() failed");
+    SIPT_ASSERT(::connect(fd_,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0,
+                "serve: cannot connect to ", socket_path,
+                " — is sipt-serve running?");
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+Client::requestLine(const std::string &line)
+{
+    const std::string out = line + '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::send(fd_, out.data() + off, out.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR)
+            continue;
+        SIPT_ASSERT(n > 0, "serve: send() failed");
+        off += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            const std::string response = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return response;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        SIPT_ASSERT(n > 0,
+                    "serve: connection closed mid-response");
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+Json
+Client::request(const Json &request_json)
+{
+    const std::string response =
+        requestLine(request_json.dump());
+    auto parsed = Json::parse(response);
+    SIPT_ASSERT(parsed.has_value(),
+                "serve: non-JSON response: ", response);
+    return *parsed;
+}
+
+} // namespace sipt::serve

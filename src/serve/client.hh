@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal blocking client for the sipt-serve protocol: connect to
+ * the daemon's Unix-domain socket, send one request line, read one
+ * response line. Shared by the sipt-client CLI and the serve test
+ * pack (which uses it to talk to in-process servers over real
+ * sockets, so the tests exercise the same framing path production
+ * clients do).
+ */
+
+#ifndef SIPT_SERVE_CLIENT_HH
+#define SIPT_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace sipt::serve
+{
+
+class Client
+{
+  public:
+    /** Connect to @p socket_path. Fatal when the daemon is not
+     *  listening there. */
+    explicit Client(const std::string &socket_path);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send @p line (newline appended) and block for the response
+     * line. Returns the raw response bytes without the newline.
+     * Fatal when the connection drops mid-exchange.
+     */
+    std::string requestLine(const std::string &line);
+
+    /** requestLine() + Json::parse; fatal on a non-JSON reply. */
+    Json request(const Json &request_json);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace sipt::serve
+
+#endif // SIPT_SERVE_CLIENT_HH

@@ -1,0 +1,89 @@
+// The serve worker pool deliberately owns raw threads: jobs are
+// long-running simulations fed to the shared SweepRunner, and the
+// daemon needs its own lifecycle (bounded queue, stop-and-join on
+// shutdown) rather than the sweep pool's.
+// sipt-lint: allow-file(raw-thread)
+
+#include "serve/job_queue.hh"
+
+#include <utility>
+
+namespace sipt::serve
+{
+
+JobQueue::JobQueue(unsigned workers, std::size_t depth,
+                   Runner runner)
+    : depth_(depth), runner_(std::move(runner))
+{
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobQueue::~JobQueue()
+{
+    stop();
+}
+
+bool
+JobQueue::tryPush(const std::string &job)
+{
+    {
+        std::lock_guard lock(mu_);
+        if (stop_ || queue_.size() >= depth_)
+            return false;
+        queue_.push_back(job);
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::size_t
+JobQueue::pending() const
+{
+    std::lock_guard lock(mu_);
+    return queue_.size();
+}
+
+std::uint64_t
+JobQueue::started() const
+{
+    std::lock_guard lock(mu_);
+    return started_;
+}
+
+void
+JobQueue::stop()
+{
+    {
+        std::lock_guard lock(mu_);
+        if (stop_)
+            return;
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+}
+
+void
+JobQueue::workerLoop()
+{
+    for (;;) {
+        std::string job;
+        {
+            std::unique_lock lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++started_;
+        }
+        runner_(job);
+    }
+}
+
+} // namespace sipt::serve

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bounded job queue + worker pool for the serve daemon.
+ *
+ * The queue holds opaque job ids; workers pop in FIFO order and
+ * hand each id to the runner callback the server installed. The
+ * bound is the backpressure mechanism: tryPush() refuses instead
+ * of blocking, and the server turns the refusal into an explicit
+ * `busy` response with a retry hint — a daemon must shed load
+ * visibly, never wedge its accept loop behind a full queue.
+ *
+ * workers=0 is a valid configuration (used by the protocol-fixture
+ * tests): jobs queue up but nothing executes, so every response is
+ * a deterministic function of the request script.
+ */
+
+// sipt-lint: allow-file(raw-thread) -- the daemon's worker pool is
+// the one sanctioned thread owner outside the sweep engine.
+
+#ifndef SIPT_SERVE_JOB_QUEUE_HH
+#define SIPT_SERVE_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sipt::serve
+{
+
+class JobQueue
+{
+  public:
+    using Runner = std::function<void(const std::string &job)>;
+
+    /**
+     * Start @p workers threads that feed queued ids to @p runner.
+     * @p depth bounds the number of queued-but-not-yet-popped ids.
+     */
+    JobQueue(unsigned workers, std::size_t depth, Runner runner);
+    /** Drains nothing: stop() discards still-queued ids. */
+    ~JobQueue();
+
+    JobQueue(const JobQueue &) = delete;
+    JobQueue &operator=(const JobQueue &) = delete;
+
+    /** Enqueue @p job; false when the queue is at depth (the
+     *  caller owes the client a busy response). */
+    bool tryPush(const std::string &job);
+
+    /** Queued-but-not-started ids right now. */
+    std::size_t pending() const;
+
+    /** Jobs handed to the runner so far. */
+    std::uint64_t started() const;
+
+    /** Stop accepting, wake the workers, join them. Ids still in
+     *  the queue are dropped (their jobs stay "queued" in the
+     *  server's map; a restarted daemon re-runs on resubmit). */
+    void stop();
+
+  private:
+    void workerLoop();
+
+    std::size_t depth_;
+    Runner runner_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::string> queue_;
+    std::vector<std::thread> workers_;
+    std::uint64_t started_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace sipt::serve
+
+#endif // SIPT_SERVE_JOB_QUEUE_HH

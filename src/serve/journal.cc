@@ -1,0 +1,216 @@
+#include "serve/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/env.hh"
+#include "common/fsio.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace sipt::serve
+{
+
+FaultInjector
+FaultInjector::fromEnv()
+{
+    return FaultInjector(
+        envU64("SIPT_SERVE_CRASH_AT", 0, 0, UINT64_MAX));
+}
+
+std::size_t
+FaultInjector::admit(std::size_t bytes)
+{
+    if (!armed_)
+        return bytes;
+    const std::size_t granted =
+        remaining_ >= bytes ? bytes
+                            : static_cast<std::size_t>(remaining_);
+    remaining_ -= granted;
+    return granted;
+}
+
+Journal::Journal(std::string path, FaultInjector *fault)
+    : path_(std::move(path)), fault_(fault)
+{
+    // Replay: accept the longest prefix of intact records, then
+    // truncate the file to exactly that prefix so the append fd
+    // starts at a record boundary.
+    std::string good;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            const std::string all = buf.str();
+            std::size_t pos = 0;
+            while (pos < all.size()) {
+                const std::size_t nl = all.find('\n', pos);
+                if (nl == std::string::npos) {
+                    // Torn tail: an append died before the
+                    // newline made it out.
+                    ++dropped_;
+                    break;
+                }
+                JournalRecord rec;
+                if (!decode(all.substr(pos, nl - pos), rec)) {
+                    // Corrupt line; everything after it is
+                    // suspect too. Count it and each later line
+                    // (a partial tail counts as one).
+                    ++dropped_;
+                    bool midline = false;
+                    for (std::size_t p = nl + 1; p < all.size();
+                         ++p) {
+                        midline = all[p] != '\n';
+                        if (!midline)
+                            ++dropped_;
+                    }
+                    if (midline)
+                        ++dropped_;
+                    break;
+                }
+                replayed_.push_back(std::move(rec));
+                pos = nl + 1;
+            }
+            good = all.substr(0, pos);
+        }
+    }
+    if (dropped_ > 0) {
+        warn("serve: journal ", path_, ": dropped ", dropped_,
+             " torn/corrupt trailing record(s)");
+        if (::truncate(path_.c_str(), static_cast<off_t>(
+                                          good.size())) != 0)
+            warn("serve: cannot truncate ", path_);
+    }
+    fileBytes_ = good.size();
+    openForAppend();
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+Journal::encode(const JournalRecord &record)
+{
+    Json r = Json::object();
+    r.set("op", record.op);
+    r.set("key", record.key);
+    if (record.op == "put")
+        r.set("result", record.result);
+    const std::string body = r.dump();
+    Json line = Json::object();
+    line.set("c", fnv1a64(body));
+    line.set("r", std::move(r));
+    return line.dump() + '\n';
+}
+
+bool
+Journal::decode(const std::string &line, JournalRecord &out)
+{
+    const auto parsed = Json::parse(line);
+    if (!parsed || !parsed->isObject())
+        return false;
+    const Json *crc = parsed->find("c");
+    const Json *r = parsed->find("r");
+    if (!crc || !crc->isUint() || !r || !r->isObject())
+        return false;
+    if (fnv1a64(r->dump()) != crc->asUint())
+        return false;
+    const Json *op = r->find("op");
+    const Json *key = r->find("key");
+    if (!op || !op->isString() || !key || !key->isString())
+        return false;
+    out.op = op->asString();
+    out.key = key->asString();
+    if (out.op == "put") {
+        const Json *result = r->find("result");
+        if (!result || !result->isString())
+            return false;
+        out.result = result->asString();
+    } else if (out.op == "evict") {
+        out.result.clear();
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+Journal::openForAppend()
+{
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                 0644);
+    SIPT_ASSERT(fd_ >= 0, "serve: cannot open journal ", path_);
+}
+
+void
+Journal::guardedAppend(const std::string &bytes)
+{
+    const std::size_t granted =
+        fault_ ? fault_->admit(bytes.size()) : bytes.size();
+    if (granted > 0) {
+        const bool ok = fsio::writeAll(
+            fd_, std::string_view(bytes).substr(0, granted));
+        SIPT_ASSERT(ok, "serve: journal write failed ", path_);
+    }
+    // fsync even the crash prefix: the injected crash must leave
+    // the same on-disk state a power cut after the partial write
+    // would.
+    SIPT_ASSERT(::fsync(fd_) == 0,
+                "serve: journal fsync failed ", path_);
+    fileBytes_ += granted;
+    if (granted < bytes.size())
+        throw InjectedCrash();
+}
+
+void
+Journal::append(const JournalRecord &record)
+{
+    guardedAppend(encode(record));
+}
+
+void
+Journal::rewrite(const std::vector<JournalRecord> &live)
+{
+    std::string body;
+    for (const auto &rec : live)
+        body += encode(rec);
+
+    // Route the rewrite through the same byte budget: a crash mid-
+    // compaction leaves the temp file torn but the published
+    // journal untouched, which is exactly what the rename
+    // guarantees.
+    const std::size_t granted =
+        fault_ ? fault_->admit(body.size()) : body.size();
+    if (granted < body.size()) {
+        const std::string tmp = path_ + ".compact";
+        const int fd =
+            ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                   0644);
+        if (fd >= 0) {
+            fsio::writeAll(
+                fd, std::string_view(body).substr(0, granted));
+            ::fsync(fd);
+            ::close(fd);
+        }
+        throw InjectedCrash();
+    }
+
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    const bool ok = fsio::atomicPublish(path_, body, ".compact");
+    SIPT_ASSERT(ok, "serve: journal rewrite failed ", path_);
+    fileBytes_ = body.size();
+    openForAppend();
+}
+
+} // namespace sipt::serve

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Append-only, checksummed journal behind every result-store
+ * shard.
+ *
+ * Each record is one line: `{"c":<crc>,"r":{...}}\n`, where `c` is
+ * the fnv1a64 of the canonical dump of `r`. Appends write the full
+ * line and fsync before returning, so an acknowledged record is on
+ * the platter. Replay parses lines in order and stops at the first
+ * torn or corrupt one, truncating the file back to the good prefix
+ * — a crash mid-append therefore loses at most the un-acknowledged
+ * record and never poisons what came before it ("record-then-
+ * rename": the record checksum plays the role the rename plays for
+ * whole-file publishes, see common/fsio.hh).
+ *
+ * Compaction rewrites the live records to a temp file, fsyncs it,
+ * and renames it over the journal, so the journal is always either
+ * the old history or the compacted one.
+ *
+ * Crash-fault injection: SIPT_SERVE_CRASH_AT=<n> arms a byte
+ * countdown shared by all journals in the process. When an append
+ * (or compaction rewrite) would cross the remaining budget, the
+ * journal writes only the in-budget prefix, fsyncs it, and throws
+ * InjectedCrash — exactly the state a kill -9 mid-write leaves
+ * behind. The crash tests iterate <n> over every offset of a
+ * scripted workload and assert replay reconstructs the acknowledged
+ * prefix byte-identically.
+ */
+
+#ifndef SIPT_SERVE_JOURNAL_HH
+#define SIPT_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace sipt::serve
+{
+
+/** Thrown by Journal when the SIPT_SERVE_CRASH_AT byte budget is
+ *  exhausted mid-write; the partial bytes are already on disk. */
+struct InjectedCrash : std::runtime_error
+{
+    InjectedCrash() : std::runtime_error("injected crash") {}
+};
+
+/**
+ * Byte-countdown fault injector. Constructed from an explicit
+ * budget or from SIPT_SERVE_CRASH_AT (0 = disarmed). One injector
+ * is shared per store so a budget spans shards, like a real crash
+ * does.
+ */
+class FaultInjector
+{
+  public:
+    /** Disarmed. */
+    FaultInjector() = default;
+    /** Crash after @p budget_bytes journal bytes (0 = disarmed). */
+    explicit FaultInjector(std::uint64_t budget_bytes)
+        : armed_(budget_bytes != 0), remaining_(budget_bytes)
+    {
+    }
+
+    /** Injector armed from SIPT_SERVE_CRASH_AT. */
+    static FaultInjector fromEnv();
+
+    bool armed() const { return armed_; }
+
+    /**
+     * Account for an intended write of @p bytes. Returns the number
+     * of bytes that may actually be written; when that is less than
+     * @p bytes the caller must write the prefix, fsync, and throw
+     * InjectedCrash.
+     */
+    std::size_t admit(std::size_t bytes);
+
+  private:
+    bool armed_ = false;
+    std::uint64_t remaining_ = 0;
+};
+
+/** One replayed journal record. */
+struct JournalRecord
+{
+    /** "put" or "evict". */
+    std::string op;
+    std::string key;
+    /** Result JSON text (canonical dump); empty for "evict". */
+    std::string result;
+};
+
+class Journal
+{
+  public:
+    /**
+     * Open (creating if absent) the journal at @p path, replay it,
+     * and truncate any torn tail. @p fault may be null (no
+     * injection). The injector must outlive the journal.
+     */
+    Journal(std::string path, FaultInjector *fault);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Records recovered by the opening replay, oldest first. */
+    const std::vector<JournalRecord> &replayed() const
+    {
+        return replayed_;
+    }
+    /** Torn/corrupt trailing lines discarded by the replay. */
+    std::uint64_t droppedRecords() const { return dropped_; }
+    /** Journal file size in bytes (live + superseded records). */
+    std::uint64_t fileBytes() const { return fileBytes_; }
+
+    /** Durably append one record (fsync before returning). */
+    void append(const JournalRecord &record);
+
+    /**
+     * Replace the journal contents with @p live, via temp file +
+     * fsync + rename. After this, fileBytes() reflects only the
+     * records in @p live.
+     */
+    void rewrite(const std::vector<JournalRecord> &live);
+
+  private:
+    /** Serialise one record as its checksummed line. */
+    static std::string encode(const JournalRecord &record);
+    /** Parse one line; false when torn/corrupt. */
+    static bool decode(const std::string &line,
+                       JournalRecord &out);
+
+    void openForAppend();
+    /** Write @p bytes through the fault injector; throws
+     *  InjectedCrash on budget exhaustion. */
+    void guardedAppend(const std::string &bytes);
+
+    std::string path_;
+    FaultInjector *fault_ = nullptr;
+    int fd_ = -1;
+    std::vector<JournalRecord> replayed_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t fileBytes_ = 0;
+};
+
+} // namespace sipt::serve
+
+#endif // SIPT_SERVE_JOURNAL_HH

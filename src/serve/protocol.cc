@@ -1,0 +1,228 @@
+#include "serve/protocol.hh"
+
+#include <cstdio>
+
+#include "common/hash.hh"
+#include "sim/report.hh"
+
+namespace sipt::serve
+{
+
+namespace
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+    case Op::Submit:
+        return "submit";
+    case Op::Poll:
+        return "poll";
+    case Op::Result:
+        return "result";
+    case Op::Stats:
+        return "stats";
+    case Op::Shutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+bool
+memberCountIs(const Json &j, std::size_t n, std::string &error)
+{
+    if (j.size() == n)
+        return true;
+    error = "request has unexpected members";
+    return false;
+}
+
+bool
+jobMember(const Json &j, std::string &out, std::string &error)
+{
+    const Json *job = j.find("job");
+    if (!job || !job->isString() ||
+        job->asString().size() != 16) {
+        error = "\"job\" must be a 16-hex job id";
+        return false;
+    }
+    for (const char c : job->asString()) {
+        const bool hex = (c >= '0' && c <= '9') ||
+                         (c >= 'a' && c <= 'f');
+        if (!hex) {
+            error = "\"job\" must be a 16-hex job id";
+            return false;
+        }
+    }
+    out = job->asString();
+    return true;
+}
+
+} // namespace
+
+std::string
+jobIdFor(const std::string &key_json)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(key_json)));
+    return buf;
+}
+
+bool
+parseRequest(const std::string &line, Request &out,
+             std::string &error)
+{
+    const auto parsed = Json::parse(line);
+    if (!parsed || !parsed->isObject()) {
+        error = "frame is not a JSON object";
+        return false;
+    }
+    const Json &j = *parsed;
+    const Json *op = j.find("op");
+    if (!op || !op->isString()) {
+        error = "missing \"op\"";
+        return false;
+    }
+    const std::string &name = op->asString();
+    if (name == "submit") {
+        out.op = Op::Submit;
+        if (!memberCountIs(j, 3, error))
+            return false;
+        const Json *app = j.find("app");
+        if (!app || !app->isString() ||
+            app->asString().empty()) {
+            error = "\"app\" must be a non-empty string";
+            return false;
+        }
+        out.app = app->asString();
+        const Json *config = j.find("config");
+        if (!config) {
+            error = "missing \"config\"";
+            return false;
+        }
+        const auto parsed_config =
+            sim::configFromJson(*config, error);
+        if (!parsed_config)
+            return false;
+        out.config = *parsed_config;
+        return true;
+    }
+    if (name == "poll" || name == "result") {
+        out.op = name == "poll" ? Op::Poll : Op::Result;
+        return memberCountIs(j, 2, error) &&
+               jobMember(j, out.job, error);
+    }
+    if (name == "stats" || name == "shutdown") {
+        out.op = name == "stats" ? Op::Stats : Op::Shutdown;
+        return memberCountIs(j, 1, error);
+    }
+    error = "unknown op \"" + name + "\"";
+    return false;
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    Json j = Json::object();
+    j.set("op", opName(request.op));
+    switch (request.op) {
+    case Op::Submit:
+        j.set("app", request.app);
+        j.set("config", sim::configToJson(request.config));
+        break;
+    case Op::Poll:
+    case Op::Result:
+        j.set("job", request.job);
+        break;
+    case Op::Stats:
+    case Op::Shutdown:
+        break;
+    }
+    return j.dump();
+}
+
+Json
+stateResponse(const std::string &job, const std::string &state)
+{
+    Json j = Json::object();
+    j.set("ok", true);
+    j.set("job", job);
+    j.set("state", state);
+    return j;
+}
+
+Json
+resultResponse(const std::string &job, Json metrics)
+{
+    Json j = Json::object();
+    j.set("ok", true);
+    j.set("job", job);
+    j.set("state", "done");
+    j.set("metrics", std::move(metrics));
+    return j;
+}
+
+Json
+statsResponse(Json stats)
+{
+    Json j = Json::object();
+    j.set("ok", true);
+    j.set("stats", std::move(stats));
+    return j;
+}
+
+Json
+stoppingResponse()
+{
+    Json j = Json::object();
+    j.set("ok", true);
+    j.set("state", "stopping");
+    return j;
+}
+
+Json
+busyResponse(std::uint64_t retry_after_ms)
+{
+    Json j = Json::object();
+    j.set("ok", false);
+    j.set("error", "busy");
+    j.set("retryAfterMs", retry_after_ms);
+    return j;
+}
+
+Json
+errorResponse(const std::string &code, const std::string &detail)
+{
+    Json j = Json::object();
+    j.set("ok", false);
+    j.set("error", code);
+    j.set("detail", detail);
+    return j;
+}
+
+Json
+jobErrorResponse(const std::string &code, const std::string &job,
+                 const std::string &state_or_detail,
+                 const char *extra_member)
+{
+    Json j = Json::object();
+    j.set("ok", false);
+    j.set("error", code);
+    j.set("job", job);
+    if (extra_member != nullptr)
+        j.set(extra_member, state_or_detail);
+    return j;
+}
+
+Json
+metricsPayload(const sim::RunResult &result)
+{
+    MetricsRegistry metrics;
+    sim::fillRunMetrics(metrics, "run", result);
+    return metrics.toJson();
+}
+
+} // namespace sipt::serve

@@ -1,0 +1,271 @@
+#include "serve/store.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace sipt::serve
+{
+
+namespace
+{
+
+std::uint64_t
+entryBytes(const std::string &key, const std::string &result)
+{
+    return key.size() + result.size();
+}
+
+} // namespace
+
+ResultStore::ResultStore(const Options &options)
+    : options_(options),
+      fault_(options.crashAt == UINT64_MAX
+                 ? FaultInjector::fromEnv()
+                 : FaultInjector(options.crashAt))
+{
+    SIPT_ASSERT(!options_.dir.empty(),
+                "serve: store needs a directory");
+    for (unsigned s = 0; s < shardCount; ++s) {
+        const std::filesystem::path dir =
+            std::filesystem::path(options_.dir) /
+            ("shard-" + std::to_string(s));
+        std::filesystem::create_directories(dir);
+        shards_[s].journal = std::make_unique<Journal>(
+            (dir / "journal.ndjson").string(), &fault_);
+
+        // Rebuild the shard's live map from the replayed
+        // history. Record order doubles as recency order, so a
+        // reopened store evicts oldest-written-first until gets
+        // refresh entries again.
+        Shard &shard = shards_[s];
+        for (const auto &rec : shard.journal->replayed()) {
+            auto it = shard.entries.find(rec.key);
+            if (it != shard.entries.end()) {
+                shard.liveBytes -=
+                    entryBytes(rec.key, it->second.result);
+                shard.entries.erase(it);
+            }
+            if (rec.op == "put") {
+                shard.entries.emplace(
+                    rec.key, Entry{rec.result, ++clock_});
+                shard.liveBytes +=
+                    entryBytes(rec.key, rec.result);
+            }
+        }
+        stats_.replayedRecords += shard.journal->replayed().size();
+        stats_.droppedRecords += shard.journal->droppedRecords();
+        totalBytes_ += shard.liveBytes;
+        stats_.entries += shard.entries.size();
+    }
+    stats_.bytes = totalBytes_;
+}
+
+ResultStore::~ResultStore() = default;
+
+unsigned
+ResultStore::shardOf(const std::string &key_json)
+{
+    return static_cast<unsigned>(fnv1a64(key_json) >> 60);
+}
+
+void
+ResultStore::put(const std::string &key_json,
+                 const std::string &result_json)
+{
+    const std::uint64_t incoming =
+        entryBytes(key_json, result_json);
+    // Make room first (never holding the target shard's lock, so
+    // evicting across shards cannot deadlock). Concurrent puts may
+    // transiently overshoot the budget by their in-flight entries;
+    // once the store is quiescent the budget holds.
+    evictFor(incoming);
+
+    Shard &shard = shards_[shardOf(key_json)];
+    std::lock_guard lock(shard.mu);
+    // Journal first: the record is on disk before the in-memory
+    // state changes, so an acknowledged put survives any crash
+    // after this line, and a crash inside it is replayed as
+    // "never happened".
+    shard.journal->append(
+        JournalRecord{"put", key_json, result_json});
+
+    auto it = shard.entries.find(key_json);
+    std::uint64_t freed = 0;
+    if (it != shard.entries.end()) {
+        freed = entryBytes(key_json, it->second.result);
+        shard.entries.erase(it);
+    }
+    std::uint64_t seq = 0;
+    {
+        std::lock_guard slock(statsMu_);
+        seq = ++clock_;
+        totalBytes_ += incoming;
+        totalBytes_ -= freed;
+        stats_.bytes = totalBytes_;
+        stats_.entries += (freed == 0 ? 1 : 0);
+    }
+    shard.entries.emplace(key_json, Entry{result_json, seq});
+    shard.liveBytes += incoming;
+    shard.liveBytes -= freed;
+    maybeCompactLocked(shard);
+}
+
+bool
+ResultStore::get(const std::string &key_json,
+                 std::string &result_out)
+{
+    Shard &shard = shards_[shardOf(key_json)];
+    std::lock_guard lock(shard.mu);
+    auto it = shard.entries.find(key_json);
+    std::lock_guard slock(statsMu_);
+    if (it == shard.entries.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    it->second.seq = ++clock_;
+    result_out = it->second.result;
+    return true;
+}
+
+void
+ResultStore::evictFor(std::uint64_t incoming_bytes)
+{
+    if (options_.byteBudget == 0)
+        return;
+    for (;;) {
+        {
+            std::lock_guard slock(statsMu_);
+            if (totalBytes_ + incoming_bytes <=
+                options_.byteBudget)
+                return;
+        }
+        // Find the globally least-recently-used entry, one shard
+        // lock at a time.
+        bool found = false;
+        unsigned victim_shard = 0;
+        std::string victim_key;
+        std::uint64_t victim_seq = 0;
+        for (unsigned s = 0; s < shardCount; ++s) {
+            Shard &shard = shards_[s];
+            std::lock_guard lock(shard.mu);
+            for (const auto &[key, entry] : shard.entries) {
+                if (!found || entry.seq < victim_seq) {
+                    found = true;
+                    victim_shard = s;
+                    victim_key = key;
+                    victim_seq = entry.seq;
+                }
+            }
+        }
+        if (!found) {
+            // Store is empty: the incoming entry alone exceeds
+            // the budget. Admit it anyway — the next put evicts
+            // it — rather than wedge the daemon.
+            return;
+        }
+        Shard &shard = shards_[victim_shard];
+        std::lock_guard lock(shard.mu);
+        auto it = shard.entries.find(victim_key);
+        if (it == shard.entries.end() ||
+            it->second.seq != victim_seq)
+            continue; // Raced with a put/get; rescan.
+        shard.journal->append(
+            JournalRecord{"evict", victim_key, ""});
+        const std::uint64_t freed =
+            entryBytes(victim_key, it->second.result);
+        shard.entries.erase(it);
+        shard.liveBytes -= freed;
+        {
+            std::lock_guard slock(statsMu_);
+            totalBytes_ -= freed;
+            stats_.bytes = totalBytes_;
+            --stats_.entries;
+            ++stats_.evictions;
+        }
+        maybeCompactLocked(shard);
+    }
+}
+
+void
+ResultStore::maybeCompactLocked(Shard &shard)
+{
+    constexpr std::uint64_t minJournalBytes = 64 * 1024;
+    const std::uint64_t threshold =
+        std::max(minJournalBytes, 3 * shard.liveBytes);
+    if (shard.journal->fileBytes() <= threshold)
+        return;
+
+    // Rewrite live entries in recency order so replaying the
+    // compacted journal reconstructs the same relative LRU order.
+    std::vector<const std::pair<const std::string, Entry> *> live;
+    live.reserve(shard.entries.size());
+    for (const auto &kv : shard.entries)
+        live.push_back(&kv);
+    std::sort(live.begin(), live.end(),
+              [](const auto *a, const auto *b) {
+                  return a->second.seq < b->second.seq;
+              });
+    std::vector<JournalRecord> records;
+    records.reserve(live.size());
+    for (const auto *kv : live)
+        records.push_back(
+            JournalRecord{"put", kv->first, kv->second.result});
+    shard.journal->rewrite(records);
+    std::lock_guard slock(statsMu_);
+    ++stats_.compactions;
+}
+
+void
+ResultStore::compact()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard lock(shard.mu);
+        std::vector<const std::pair<const std::string, Entry> *>
+            live;
+        live.reserve(shard.entries.size());
+        for (const auto &kv : shard.entries)
+            live.push_back(&kv);
+        std::sort(live.begin(), live.end(),
+                  [](const auto *a, const auto *b) {
+                      return a->second.seq < b->second.seq;
+                  });
+        std::vector<JournalRecord> records;
+        records.reserve(live.size());
+        for (const auto *kv : live)
+            records.push_back(JournalRecord{"put", kv->first,
+                                            kv->second.result});
+        shard.journal->rewrite(records);
+        std::lock_guard slock(statsMu_);
+        ++stats_.compactions;
+    }
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard slock(statsMu_);
+    return stats_;
+}
+
+std::string
+ResultStore::snapshot() const
+{
+    std::vector<std::string> lines;
+    for (const auto &shard : shards_) {
+        std::lock_guard lock(shard.mu);
+        for (const auto &[key, entry] : shard.entries)
+            lines.push_back(key + '\t' + entry.result + '\n');
+    }
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto &line : lines)
+        out += line;
+    return out;
+}
+
+} // namespace sipt::serve

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Sharded, crash-safe, LRU-bounded result store for the serve
+ * daemon.
+ *
+ * Results are keyed on the sweep engine's canonical run-key JSON
+ * (sim::runKeyJson()), so the store dedups exactly the way the
+ * engine's own memo cache does. Keys are spread over 16 shards by
+ * the top 4 bits of their fnv1a64 hash; each shard has its own
+ * mutex, on-disk directory `shard-<x>/`, and append-only journal
+ * (see serve/journal.hh), so writers on different shards never
+ * contend.
+ *
+ * Durability: every put/evict is journaled and fsync'd before the
+ * call returns. Reopening a store replays each shard's journal and
+ * reconstructs the exact acknowledged state — the crash tests
+ * assert this byte-for-byte at every possible crash offset.
+ *
+ * Capacity: an optional byte budget caps sum(key+result bytes)
+ * across all shards. Inserts evict least-recently-used entries
+ * (get() refreshes recency) until the new entry fits; eviction
+ * scans the per-shard LRU heads and removes the globally oldest,
+ * taking one shard lock at a time (no nested locks, no lock-order
+ * cycles).
+ *
+ * Journals accumulate superseded records; when a shard's journal
+ * grows past max(64 KiB, 3x its live bytes) it is compacted in
+ * place (rewrite live records, temp + fsync + rename). compact()
+ * forces this for every shard.
+ */
+
+#ifndef SIPT_SERVE_STORE_HH
+#define SIPT_SERVE_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/journal.hh"
+
+namespace sipt::serve
+{
+
+/** Counters exposed through the protocol's `stats` op. */
+struct StoreStats
+{
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t replayedRecords = 0;
+    std::uint64_t droppedRecords = 0;
+    std::uint64_t compactions = 0;
+};
+
+class ResultStore
+{
+  public:
+    struct Options
+    {
+        /** Root directory; shard dirs are created inside it. */
+        std::string dir;
+        /** Max sum of key+result bytes; 0 = unlimited. */
+        std::uint64_t byteBudget = 0;
+        /** Crash-injection byte budget; UINT64_MAX = read
+         *  SIPT_SERVE_CRASH_AT, 0 = disarmed. */
+        std::uint64_t crashAt = UINT64_MAX;
+    };
+
+    /** Open @p options.dir, creating it if needed, and replay all
+     *  shard journals to the acknowledged pre-crash state. */
+    explicit ResultStore(const Options &options);
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    static constexpr unsigned shardCount = 16;
+
+    /** Shard index for @p key_json (top 4 bits of fnv1a64). */
+    static unsigned shardOf(const std::string &key_json);
+
+    /**
+     * Durably store @p result_json under @p key_json, evicting LRU
+     * entries when a byte budget is set. Overwriting an existing
+     * key replaces its value. Throws InjectedCrash under fault
+     * injection.
+     */
+    void put(const std::string &key_json,
+             const std::string &result_json);
+
+    /** Fetch into @p result_out, refreshing the entry's recency.
+     *  False on miss. */
+    bool get(const std::string &key_json,
+             std::string &result_out);
+
+    /** Compact every shard's journal down to its live records. */
+    void compact();
+
+    StoreStats stats() const;
+
+    /**
+     * Deterministic snapshot of the live state: "key\tresult\n"
+     * lines sorted by key. Two stores with equal snapshots hold
+     * byte-identical results — the crash tests compare exactly
+     * this.
+     */
+    std::string snapshot() const;
+
+  private:
+    struct Entry
+    {
+        std::string result;
+        /** Global LRU clock value at last touch. */
+        std::uint64_t seq = 0;
+    };
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, Entry> entries;
+        std::unique_ptr<Journal> journal;
+        /** Sum of key+result bytes of live entries. */
+        std::uint64_t liveBytes = 0;
+    };
+
+    /** Evict LRU entries until total bytes fit the budget with
+     *  @p incoming_bytes added. Caller holds no shard lock. */
+    void evictFor(std::uint64_t incoming_bytes);
+
+    /** Compact @p shard if its journal dwarfs its live bytes.
+     *  Caller holds the shard lock. */
+    void maybeCompactLocked(Shard &shard);
+
+    Options options_;
+    FaultInjector fault_;
+    Shard shards_[shardCount];
+
+    mutable std::mutex statsMu_;
+    StoreStats stats_;
+    /** Monotonic LRU clock (under statsMu_). */
+    std::uint64_t clock_ = 0;
+    /** Sum of liveBytes across shards (under statsMu_). */
+    std::uint64_t totalBytes_ = 0;
+};
+
+} // namespace sipt::serve
+
+#endif // SIPT_SERVE_STORE_HH

@@ -50,6 +50,32 @@ l1ConfigFromName(std::string_view name)
     return std::nullopt;
 }
 
+std::optional<IndexingPolicy>
+policyFromName(std::string_view name)
+{
+    std::string lower(name);
+    for (char &c : lower)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lower == "vipt")
+        return IndexingPolicy::Vipt;
+    if (lower == "ideal")
+        return IndexingPolicy::Ideal;
+    if (lower == "naive")
+        return IndexingPolicy::SiptNaive;
+    if (lower == "bypass")
+        return IndexingPolicy::SiptBypass;
+    if (lower == "combined")
+        return IndexingPolicy::SiptCombined;
+    if (lower == "vespa")
+        return IndexingPolicy::SiptVespa;
+    if (lower == "revelator")
+        return IndexingPolicy::SiptRevelator;
+    if (lower == "pcax")
+        return IndexingPolicy::SiptPcax;
+    return std::nullopt;
+}
+
 const std::vector<L1Config> &
 siptConfigs()
 {

@@ -44,6 +44,14 @@ const char *l1ConfigName(L1Config config);
  */
 std::optional<L1Config> l1ConfigFromName(std::string_view name);
 
+/**
+ * Parse a CLI-friendly indexing-policy token: "vipt", "ideal",
+ * "naive", "bypass", "combined", "vespa", "revelator", "pcax"
+ * (case-insensitive). nullopt for anything else.
+ */
+std::optional<IndexingPolicy>
+policyFromName(std::string_view name);
+
 /** The four SIPT geometries of Tab. II, in paper order. */
 const std::vector<L1Config> &siptConfigs();
 

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "common/env.hh"
+#include "common/fsio.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
@@ -61,20 +62,6 @@ traceWorkerLane()
  *      joined RunResult's L1Stats. */
 constexpr std::uint64_t cacheFormatVersion = 5;
 
-/**
- * Content hash of the trace file behind a "trace:<path>" app,
- * 0 for synthetic apps. Recomputed at every enqueue so an edited
- * trace keys differently — the cache can never serve a result for
- * bytes that are no longer on disk (content, not mtime).
- */
-std::uint64_t
-traceHashFor(const std::string &app)
-{
-    return isTraceApp(app)
-               ? workload::traceContentHash(traceAppPath(app))
-               : 0;
-}
-
 unsigned
 threadsFromEnv()
 {
@@ -93,32 +80,6 @@ cacheDirFromEnv()
     if (const char *env = std::getenv("SIPT_RUN_CACHE"))
         return env;
     return "";
-}
-
-Json
-configToJson(const SystemConfig &c)
-{
-    Json j = Json::object();
-    j.set("outOfOrder", c.outOfOrder);
-    j.set("l1Config",
-          std::uint64_t{static_cast<std::uint8_t>(c.l1Config)});
-    j.set("l1SizeBytes", c.l1SizeBytes);
-    j.set("l1Assoc", std::uint64_t{c.l1Assoc});
-    j.set("l1HitLatency", c.l1HitLatency);
-    j.set("policy",
-          std::uint64_t{static_cast<std::uint8_t>(c.policy)});
-    j.set("xlatPredEntries", std::uint64_t{c.xlatPredEntries});
-    j.set("wayPrediction", c.wayPrediction);
-    j.set("radixWalker", c.radixWalker);
-    j.set("condition",
-          std::uint64_t{static_cast<std::uint8_t>(c.condition)});
-    j.set("physMemBytes", c.physMemBytes);
-    j.set("warmupRefs", c.warmupRefs);
-    j.set("measureRefs", c.measureRefs);
-    j.set("seed", c.seed);
-    j.set("footprintScale", c.footprintScale);
-    j.set("check", c.check);
-    return j;
 }
 
 Json
@@ -201,6 +162,180 @@ l1StatsFromJson(const Json &j)
     return s;
 }
 
+} // namespace
+
+/**
+ * Content hash of the trace file behind a "trace:<path>" app,
+ * 0 for synthetic apps. Recomputed at every enqueue so an edited
+ * trace keys differently — the cache can never serve a result for
+ * bytes that are no longer on disk (content, not mtime).
+ */
+std::uint64_t
+traceHashFor(const std::string &app)
+{
+    return isTraceApp(app)
+               ? workload::traceContentHash(traceAppPath(app))
+               : 0;
+}
+
+Json
+configToJson(const SystemConfig &c)
+{
+    Json j = Json::object();
+    j.set("outOfOrder", c.outOfOrder);
+    j.set("l1Config",
+          std::uint64_t{static_cast<std::uint8_t>(c.l1Config)});
+    j.set("l1SizeBytes", c.l1SizeBytes);
+    j.set("l1Assoc", std::uint64_t{c.l1Assoc});
+    j.set("l1HitLatency", c.l1HitLatency);
+    j.set("policy",
+          std::uint64_t{static_cast<std::uint8_t>(c.policy)});
+    j.set("xlatPredEntries", std::uint64_t{c.xlatPredEntries});
+    j.set("wayPrediction", c.wayPrediction);
+    j.set("radixWalker", c.radixWalker);
+    j.set("condition",
+          std::uint64_t{static_cast<std::uint8_t>(c.condition)});
+    j.set("physMemBytes", c.physMemBytes);
+    j.set("warmupRefs", c.warmupRefs);
+    j.set("measureRefs", c.measureRefs);
+    j.set("seed", c.seed);
+    j.set("footprintScale", c.footprintScale);
+    j.set("check", c.check);
+    return j;
+}
+
+std::optional<SystemConfig>
+configFromJson(const Json &j, std::string &error)
+{
+    if (!j.isObject()) {
+        error = "config must be a JSON object";
+        return std::nullopt;
+    }
+
+    // The exact member set configToJson() emits; anything else —
+    // missing, extra, or misspelt — is a hard error so that wire
+    // input can never silently run a default-filled config.
+    static constexpr const char *known[] = {
+        "outOfOrder",   "l1Config",     "l1SizeBytes",
+        "l1Assoc",      "l1HitLatency", "policy",
+        "xlatPredEntries", "wayPrediction", "radixWalker",
+        "condition",    "physMemBytes", "warmupRefs",
+        "measureRefs",  "seed",         "footprintScale",
+        "check",
+    };
+
+    const Json *fields[std::size(known)] = {};
+    for (std::size_t i = 0; i < j.size(); ++i) {
+        const auto &[name, value] = j.member(i);
+        bool matched = false;
+        for (std::size_t k = 0; k < std::size(known); ++k) {
+            if (name == known[k]) {
+                fields[k] = &value;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            error = "unknown config member \"" + name + "\"";
+            return std::nullopt;
+        }
+    }
+    for (std::size_t k = 0; k < std::size(known); ++k) {
+        if (fields[k] == nullptr) {
+            error = std::string("missing config member \"") +
+                    known[k] + "\"";
+            return std::nullopt;
+        }
+    }
+
+    auto field = [&](const char *name) -> const Json & {
+        for (std::size_t k = 0; k < std::size(known); ++k)
+            if (std::string_view(known[k]) == name)
+                return *fields[k];
+        SIPT_ASSERT(false, "configFromJson: bad field name");
+    };
+    auto needBool = [&](const char *name, bool &out) {
+        const Json &v = field(name);
+        if (!v.isBool()) {
+            error = std::string("config member \"") + name +
+                    "\" must be a bool";
+            return false;
+        }
+        out = v.asBool();
+        return true;
+    };
+    auto needUint = [&](const char *name, std::uint64_t max,
+                        std::uint64_t &out) {
+        const Json &v = field(name);
+        if (!v.isUint() || v.asUint() > max) {
+            error = std::string("config member \"") + name +
+                    "\" must be an integer in [0, " +
+                    std::to_string(max) + "]";
+            return false;
+        }
+        out = v.asUint();
+        return true;
+    };
+
+    SystemConfig c;
+    std::uint64_t u = 0;
+    if (!needBool("outOfOrder", c.outOfOrder))
+        return std::nullopt;
+    if (!needUint("l1Config",
+                  static_cast<std::uint64_t>(L1Config::Sipt128K4),
+                  u))
+        return std::nullopt;
+    c.l1Config = static_cast<L1Config>(u);
+    if (!needUint("l1SizeBytes", UINT64_MAX, c.l1SizeBytes))
+        return std::nullopt;
+    if (!needUint("l1Assoc", UINT32_MAX, u))
+        return std::nullopt;
+    c.l1Assoc = static_cast<std::uint32_t>(u);
+    if (!needUint("l1HitLatency", UINT64_MAX, c.l1HitLatency))
+        return std::nullopt;
+    if (!needUint("policy",
+                  static_cast<std::uint64_t>(
+                      IndexingPolicy::SiptPcax),
+                  u))
+        return std::nullopt;
+    c.policy = static_cast<IndexingPolicy>(u);
+    if (!needUint("xlatPredEntries", UINT32_MAX, u))
+        return std::nullopt;
+    c.xlatPredEntries = static_cast<std::uint32_t>(u);
+    if (!needBool("wayPrediction", c.wayPrediction))
+        return std::nullopt;
+    if (!needBool("radixWalker", c.radixWalker))
+        return std::nullopt;
+    if (!needUint("condition",
+                  static_cast<std::uint64_t>(
+                      MemCondition::Fragmented),
+                  u))
+        return std::nullopt;
+    c.condition = static_cast<MemCondition>(u);
+    if (!needUint("physMemBytes", UINT64_MAX, c.physMemBytes))
+        return std::nullopt;
+    if (!needUint("warmupRefs", UINT64_MAX, c.warmupRefs))
+        return std::nullopt;
+    if (!needUint("measureRefs", UINT64_MAX, c.measureRefs))
+        return std::nullopt;
+    if (!needUint("seed", UINT64_MAX, c.seed))
+        return std::nullopt;
+    {
+        const Json &v = field("footprintScale");
+        if (!v.isNumber() || v.asDouble() <= 0.0) {
+            error = "config member \"footprintScale\" must be a "
+                    "positive number";
+            return std::nullopt;
+        }
+        c.footprintScale = v.asDouble();
+    }
+    if (!needBool("check", c.check))
+        return std::nullopt;
+    // `engine` is key-exempt (serves both engines) and stays at
+    // its default; it is deliberately not part of the wire format.
+    return c;
+}
+
 Json
 runResultToJson(const RunResult &r)
 {
@@ -252,6 +387,9 @@ runResultFromJson(const Json &j)
     r.vivtDirtyForwards = j.get("vivtDirtyForwards").asUint();
     return r;
 }
+
+namespace
+{
 
 Json
 multiResultToJson(const MulticoreResult &r)
@@ -310,6 +448,12 @@ multiKeyJson(const std::vector<std::string> &mix,
 }
 
 } // namespace
+
+std::string
+runKeyJson(const std::string &app, const SystemConfig &config)
+{
+    return singleKeyJson(app, config, traceHashFor(app)).dump();
+}
 
 double
 SweepStats::hitRate() const
@@ -525,26 +669,16 @@ SweepRunner::storeToDisk(const std::string &key_json,
     entry.set("key", *Json::parse(key_json));
     entry.set("result", result);
 
-    // Write-to-temp + rename so concurrent writers (several bench
-    // processes sharing one cache dir) never expose a torn file.
-    const std::filesystem::path tmp =
-        path.string() + ".tmp." +
-        std::to_string(
-            std::hash<std::thread::id>{}(
-                std::this_thread::get_id()));
-    {
-        std::ofstream out(tmp);
-        if (!out) {
-            warn("sweep: cannot write cache entry ",
-                 tmp.string());
-            return;
-        }
-        out << entry.dump() << '\n';
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec)
-        std::filesystem::remove(tmp, ec);
+    // Write-to-temp + fsync + rename so concurrent writers
+    // (several bench processes sharing one cache dir) never expose
+    // a torn file — and a crash between write and rename leaves
+    // only a temp file, never a truncated published entry.
+    const std::string tmp_suffix =
+        ".tmp." + std::to_string(std::hash<std::thread::id>{}(
+                      std::this_thread::get_id()));
+    if (!fsio::atomicPublish(path.string(), entry.dump() + '\n',
+                             tmp_suffix))
+        warn("sweep: cannot write cache entry ", path.string());
 }
 
 std::shared_future<RunResult>

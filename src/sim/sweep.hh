@@ -43,6 +43,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -101,6 +102,45 @@ struct SweepJob
     std::string app;
     SystemConfig config;
 };
+
+/**
+ * Serialisation and dedup hooks for external callers (the serve
+ * daemon, tooling). These are the sweep engine's own on-disk cache
+ * codecs, exported so every layer that persists or transmits run
+ * results speaks one format.
+ */
+
+/** The disk-cache key codec for a SystemConfig. Every keyed field
+ *  participates (enforced by sipt-analyze's config-key pass). */
+Json configToJson(const SystemConfig &config);
+
+/**
+ * Strict inverse of configToJson(): every keyed field must be
+ * present with the right type and in range, unknown members are
+ * rejected, and `engine` stays at its (key-exempt) default. On
+ * failure returns nullopt and sets @p error. Designed for wire
+ * input: a malformed config must degrade to an error response,
+ * never a default-filled run or a panic.
+ */
+std::optional<SystemConfig>
+configFromJson(const Json &j, std::string &error);
+
+/** RunResult <-> disk-cache/wire JSON. */
+Json runResultToJson(const RunResult &result);
+RunResult runResultFromJson(const Json &j);
+
+/** Content hash of the trace file behind a "trace:<path>" app
+ *  (0 for synthetic apps); part of every dedup key. */
+std::uint64_t traceHashFor(const std::string &app);
+
+/**
+ * The canonical single-run dedup key: the exact JSON string the
+ * sweep engine keys its disk cache on (app + trace content hash +
+ * full config). External stores that key on this string dedup
+ * identically to the engine itself.
+ */
+std::string runKeyJson(const std::string &app,
+                       const SystemConfig &config);
 
 class SweepRunner
 {

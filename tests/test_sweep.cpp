@@ -164,6 +164,51 @@ TEST(Sweep, DiskCacheSurvivesRunnerRestart)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Sweep, TruncatedDiskEntryIsDiscardedNotFatal)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "sipt_test_torn_cache";
+    std::filesystem::remove_all(dir);
+
+    const auto cfg = quick(IndexingPolicy::SiptCombined);
+    RunResult cold;
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        cold = runner.enqueue("mcf", cfg).get();
+    }
+
+    // Simulate a torn write: chop the published entry mid-JSON,
+    // the state a crash inside an unsynced write() could leave.
+    // (storeToDisk's write-tmp + fsync + rename makes this
+    // impossible going forward; old caches may still hold one.)
+    std::filesystem::path entry;
+    for (const auto &file :
+         std::filesystem::directory_iterator(dir))
+        entry = file.path();
+    ASSERT_FALSE(entry.empty());
+    const auto full_size = std::filesystem::file_size(entry);
+    std::filesystem::resize_file(entry, full_size / 2);
+
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        const auto rerun = runner.enqueue("mcf", cfg).get();
+        // The torn entry must degrade to a miss (re-execution),
+        // never a parse abort or a half-read result.
+        const auto s = runner.stats();
+        EXPECT_EQ(s.diskHits, 0u);
+        EXPECT_EQ(s.executed, 1u);
+        expectSameResult(cold, rerun);
+    }
+
+    // The re-run republished the entry; a third runner hits it.
+    {
+        SweepRunner runner(SweepOptions{1, dir.string()});
+        (void)runner.enqueue("mcf", cfg).get();
+        EXPECT_EQ(runner.stats().diskHits, 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Sweep, DiskCacheRoundTripsMulticore)
 {
     const auto dir = std::filesystem::temp_directory_path() /
